@@ -1,0 +1,27 @@
+"""Benchmark for the contention-sweep extension experiment.
+
+Checked shape: overflow pressure (situations, resolution iterations) grows
+as request density scales; the resolution cost penalty reaches meaningful
+percentages at high contention -- the regime of the paper's 12 % average.
+"""
+
+from conftest import is_full_run
+
+from repro.experiments import contention_sweep, paper_config, quick_config
+
+
+def test_contention_sweep(benchmark, save_artifact):
+    cfg = paper_config() if is_full_run() else quick_config(n_files=150)
+    users_axis = (5, 10, 20, 40) if is_full_run() else (4, 10, 24)
+    sweep = benchmark.pedantic(
+        lambda: contention_sweep(cfg, users_axis=users_axis),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("contention_sweep", sweep.as_table())
+
+    iters = sweep.iterations()
+    assert iters[-1] >= iters[0], "more load must need at least as many fixes"
+    assert all(p >= 0 for p in sweep.penalties())
+    # the densest point must actually exercise overflow resolution
+    assert sweep.points[-1].overflow_count > 0

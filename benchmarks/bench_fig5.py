@@ -1,0 +1,35 @@
+"""Benchmark + reproduction of Fig. 5: network charging rate vs total cost.
+
+Paper claims checked here (Sec. 5.2):
+* every curve increases with the network charging rate;
+* the environment without intermediate storage costs the most, and its
+  advantage gap widens as the network rate grows;
+* the no-cache baseline is linear in the network rate;
+* cheaper storage gives cheaper schedules.
+"""
+
+from repro.analysis import gap_between
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, bench_runner, save_artifact):
+    srates = bench_runner.config.srate_axis
+    fig = benchmark.pedantic(
+        lambda: fig5(bench_runner, srates=(srates[0], srates[-1])),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig5", fig.render())
+
+    baseline = fig.series_by_name("no intermediate storage")
+    cached_lo = fig.series_by_name(f"srate={srates[0]:g}")
+    cached_hi = fig.series_by_name(f"srate={srates[-1]:g}")
+
+    for s in fig.series:
+        assert s.is_increasing(strict=True), f"{s.name} must rise with nrate"
+    assert baseline.dominates(cached_lo)
+    assert baseline.dominates(cached_hi)
+    assert cached_hi.dominates(cached_lo)
+    gaps = gap_between(baseline, cached_lo)
+    assert gaps[-1] > gaps[0] > 0, "caching advantage must widen with nrate"
+    assert baseline.linearity() > 0.999

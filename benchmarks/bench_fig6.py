@@ -1,0 +1,24 @@
+"""Benchmark + reproduction of Fig. 6: network rate vs cost per access skew.
+
+Paper claims checked (Sec. 5.2): cost rises with the network rate for every
+Zipf alpha, and "total service cost increases when the requests are more
+evenly distributed" (larger alpha dominates smaller).
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, bench_runner, save_artifact):
+    alphas = bench_runner.config.alpha_axis
+    fig = benchmark.pedantic(
+        lambda: fig6(bench_runner, alphas=alphas), rounds=1, iterations=1
+    )
+    save_artifact("fig6", fig.render())
+
+    for s in fig.series:
+        assert s.is_increasing(strict=True), f"{s.name} must rise with nrate"
+    ordered = [fig.series_by_name(f"alpha={a:g}") for a in sorted(alphas)]
+    for lo, hi in zip(ordered, ordered[1:]):
+        assert hi.dominates(lo), (
+            f"{hi.name} (less biased) must cost at least {lo.name}"
+        )

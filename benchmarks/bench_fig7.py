@@ -1,0 +1,28 @@
+"""Benchmark + reproduction of Fig. 7: storage charging rate vs total cost.
+
+Paper claims checked (Sec. 5.3):
+* cost rises with the storage charging rate;
+* sensitivity is highest at low storage rates (the curve flattens);
+* the curve approaches the network-only system's constant cost from below.
+"""
+
+from repro.analysis import gap_between
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, bench_runner, save_artifact):
+    fig = benchmark.pedantic(lambda: fig7(bench_runner), rounds=1, iterations=1)
+    save_artifact("fig7", fig.render())
+
+    cached = fig.series_by_name("with intermediate storage")
+    base = fig.series_by_name("network only system")
+
+    assert cached.is_increasing()
+    assert base.is_increasing() and base.is_decreasing()  # constant line
+    assert base.dominates(cached)
+    gaps = gap_between(base, cached)
+    assert gaps[0] > gaps[-1] >= -1e-9, "must approach the asymptote"
+    xs, ys = cached.x, cached.y
+    first_slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+    last_slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+    assert first_slope > last_slope >= 0, "sensitivity must decay"

@@ -1,0 +1,30 @@
+"""Benchmark + reproduction of Fig. 8: storage rate sweep per network rate.
+
+Paper claims checked (Sec. 5.3): every curve rises-then-saturates in the
+storage rate; the network rate's effect is substantial and roughly linear
+(curves ordered by nrate, evenly spread); the storage rate matters mostly
+when it is low.
+"""
+
+import pytest
+
+from repro.experiments import fig8
+
+_NRATES = (300, 600, 1000)
+
+
+def test_fig8(benchmark, bench_runner, save_artifact):
+    fig = benchmark.pedantic(
+        lambda: fig8(bench_runner, nrates=_NRATES), rounds=1, iterations=1
+    )
+    save_artifact("fig8", fig.render())
+
+    curves = [fig.series_by_name(f"nrate={n:g}") for n in _NRATES]
+    for s in curves:
+        assert s.is_increasing(), f"{s.name} must rise with the storage rate"
+    for lo, hi in zip(curves, curves[1:]):
+        assert hi.dominates(lo), "higher network rate must cost more"
+    # network-rate effect ~linear: interpolate the middle curve's first point
+    y0 = [s.y[0] for s in curves]
+    expected_mid = y0[0] + (y0[2] - y0[0]) * (600 - 300) / (1000 - 300)
+    assert y0[1] == pytest.approx(expected_mid, rel=0.1)

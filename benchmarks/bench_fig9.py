@@ -1,0 +1,32 @@
+"""Benchmark + reproduction of Fig. 9: access pattern vs storage size.
+
+Paper claims checked (Sec. 5.4):
+* total cost increases as the access pattern becomes less biased;
+* smaller intermediate storages cost more;
+* the advantage of larger storage grows as the pattern gets more skewed
+  (the vertical distance between size-curves narrows with alpha).
+"""
+
+from repro.analysis import gap_between
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, bench_runner, save_artifact):
+    caps = bench_runner.config.capacity_axis
+    small_cap, large_cap = caps[0], caps[-1]
+    fig = benchmark.pedantic(
+        lambda: fig9(bench_runner, capacities=(small_cap, 8, large_cap)),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig9", fig.render())
+
+    for s in fig.series:
+        assert s.is_increasing(), f"{s.name} must rise with alpha"
+    small = fig.series_by_name(f"IS size={small_cap:g} GB")
+    large = fig.series_by_name(f"IS size={large_cap:g} GB")
+    assert small.dominates(large), "smaller storage must cost at least as much"
+    gaps = gap_between(small, large)
+    assert gaps[0] >= gaps[-1] >= -1e-9, (
+        "larger storage must matter most under skewed access"
+    )

@@ -1,0 +1,59 @@
+"""Benchmark + reproduction of the Sec. 5.5 cost statistics.
+
+Two claims:
+
+* overflow resolution raises the schedule cost (paper: 12 % average, 34 %
+  worst case -- our stronger greedy sees smaller penalties; the check is
+  that penalties are nonnegative and bounded),
+* the end-to-end heuristic lands within ~30 % of the optimal schedule on
+  average (measured exactly on exhaustively solvable instances).
+"""
+
+from repro.analysis import format_table, summarize
+from repro.experiments import optimality_gap
+
+
+def _resolution_penalties(runner):
+    """Cost-increase ratios over a contended sub-grid."""
+    ratios = []
+    for cap in (5, 8):
+        for srate in (3, 8):
+            for alpha in (0.1, 0.271):
+                rec = runner.run(
+                    capacity_gb=cap, srate_per_gb_hour=srate, alpha=alpha
+                )
+                if rec.had_overflow:
+                    ratios.append(rec.cost_increase_ratio)
+    return ratios
+
+
+def test_resolution_cost_increase(benchmark, bench_runner, save_artifact):
+    ratios = benchmark.pedantic(
+        lambda: _resolution_penalties(bench_runner), rounds=1, iterations=1
+    )
+    assert ratios, "the grid must produce overflow cases"
+    s = summarize(ratios)
+    save_artifact(
+        "sec5_5_resolution_penalty",
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["overflow cases", "622/785", f"{s.n} sampled"],
+                ["avg cost increase", "12 %", f"{100 * s.mean:.2f} %"],
+                ["max cost increase", "34 %", f"{100 * s.maximum:.2f} %"],
+            ],
+            title="Sec. 5.5: overflow-resolution cost increase",
+        ),
+    )
+    assert all(r >= -1e-12 for r in ratios)
+    assert s.maximum <= 0.34 + 0.16  # within paper's worst case + margin
+
+
+def test_optimality_gap(benchmark, save_artifact):
+    gap = benchmark.pedantic(
+        lambda: optimality_gap(n_instances=12, seed=3), rounds=1, iterations=1
+    )
+    save_artifact("sec5_5_optimality_gap", gap.as_table())
+    assert gap.gaps, "gap measurement produced no instances"
+    assert all(g >= -1e-9 for g in gap.gaps), "heuristic can never beat optimal"
+    assert gap.summary.mean <= 0.30, "paper: within 30 % of optimal on average"

@@ -1,0 +1,64 @@
+"""Pure performance benchmarks of the scheduler itself.
+
+Not a paper artifact: tracks the runtime of the two-phase solve at the
+paper's scale and of its building blocks, so regressions in the hot paths
+(routing, greedy pricing, overflow sweeps) are caught by
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro import (
+    CostModel,
+    IndividualScheduler,
+    VideoScheduler,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.core.overflow import detect_overflows
+from repro.core.spacefunc import UsageTimeline, residency_profile
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(seed=4)
+    batch = WorkloadGenerator(topo, catalog, alpha=0.271).generate(seed=4)
+    return topo, catalog, batch
+
+
+def test_bench_two_phase_solve(benchmark, env):
+    topo, catalog, batch = env
+    scheduler = VideoScheduler(topo, catalog)
+    result = benchmark(lambda: scheduler.solve(batch))
+    assert len(result.schedule.deliveries) == len(batch)
+
+
+def test_bench_phase1_only(benchmark, env):
+    topo, catalog, batch = env
+    cm = CostModel(topo, catalog)
+    greedy = IndividualScheduler(cm)
+    schedule = benchmark(lambda: greedy.solve(batch))
+    assert len(schedule.deliveries) == len(batch)
+
+
+def test_bench_overflow_detection(benchmark, env):
+    topo, catalog, batch = env
+    cm = CostModel(topo, catalog)
+    schedule = IndividualScheduler(cm).solve(batch)
+    benchmark(lambda: detect_overflows(schedule, catalog, topo))
+
+
+def test_bench_usage_timeline_sweep(benchmark):
+    profiles = [
+        residency_profile(2.5e9, 5400.0, float(i * 600), float(i * 600 + 7200))
+        for i in range(200)
+    ]
+    tl = benchmark(lambda: UsageTimeline(profiles))
+    assert tl.peak > 0

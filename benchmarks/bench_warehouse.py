@@ -1,0 +1,62 @@
+"""Benchmark for the hierarchical-warehouse staging substrate.
+
+Not a paper figure -- the paper idealizes the warehouse -- but its related
+work motivates the tape+disk hierarchy, and DESIGN.md lists this as an
+extension experiment: miss rate vs. warehouse hardware for a fixed
+scheduled workload.  Checked shapes: more disk and more drives never
+increase misses, and a mid-90s-plausible configuration reaches zero misses.
+"""
+
+from repro import (
+    StagingPlanner,
+    VideoScheduler,
+    WarehouseSpec,
+    WorkloadGenerator,
+    units,
+)
+from repro.analysis import format_table
+
+
+def _plan_sweep(runner):
+    topo = runner.topology()
+    batch = runner.batch()
+    result = VideoScheduler(topo, runner.catalog).solve(batch)
+    rows = []
+    for disk_gb, drives in [(50, 2), (100, 4), (400, 8)]:
+        spec = WarehouseSpec(
+            disk_capacity=units.gb(disk_gb),
+            tape_drives=drives,
+            tape_bandwidth=60 * units.MB,
+        )
+        report = StagingPlanner(spec, runner.catalog).plan(result.schedule)
+        rows.append((disk_gb, drives, report))
+    return rows
+
+
+def test_warehouse_staging(benchmark, bench_runner, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: _plan_sweep(bench_runner), rounds=1, iterations=1
+    )
+    save_artifact(
+        "warehouse_staging",
+        format_table(
+            ["disk (GB)", "drives", "stagings", "hits", "misses", "miss rate"],
+            [
+                [
+                    d,
+                    n,
+                    len(r.tasks),
+                    r.hits,
+                    len(r.misses),
+                    f"{100 * r.miss_rate:.1f} %",
+                ]
+                for d, n, r in rows
+            ],
+            title="warehouse staging sweep (extension)",
+        ),
+    )
+    misses = [len(r.misses) for _, _, r in rows]
+    assert misses[0] >= misses[1] >= misses[2]
+    assert misses[-1] == 0, "the big configuration must stage everything on time"
+    for _, _, r in rows:
+        assert r.peak_disk_usage <= units.gb(400) + 1e-6

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of the Fig. 2 worked example (Sec. 3.2).
+
+Paper values: Ψ(S1) = $259.20, Ψ(S2) = $138.975.  Both must reproduce
+*exactly* -- this is the cost model's ground truth.
+"""
+
+import pytest
+
+from repro.experiments import worked_example
+
+
+def test_worked_example(benchmark, save_artifact):
+    result = benchmark(worked_example)
+    save_artifact("fig2_worked_example", result.as_table())
+    assert result.psi_s1 == pytest.approx(259.2, abs=1e-9)
+    assert result.psi_s2 == pytest.approx(138.975, abs=1e-9)
+    assert result.psi_greedy <= result.psi_s2

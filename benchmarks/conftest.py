@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, times the run
+via pytest-benchmark, asserts the paper's qualitative claims, and writes the
+rendered artifact to ``benchmarks/results/<name>.txt`` (also echoed to
+stdout when pytest runs with ``-s``).
+
+Scale is controlled by the ``REPRO_BENCH_FULL`` environment variable:
+unset/0 runs the scaled-down configuration (same shapes, minutes not hours);
+``REPRO_BENCH_FULL=1`` runs the paper's full Table 4 grid.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentRunner, paper_config, quick_config
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def is_full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    if is_full_run():
+        return paper_config()
+    # mid-size: enough contention for every paper shape to show
+    return quick_config(n_files=150, users_per_neighborhood=10)
+
+
+@pytest.fixture(scope="session")
+def bench_runner(bench_config):
+    return ExperimentRunner(bench_config)
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale = (
+        "full Table 4 scale (REPRO_BENCH_FULL=1)"
+        if is_full_run()
+        else "scaled-down grid (set REPRO_BENCH_FULL=1 for the full Table 4 run)"
+    )
+
+    def _save(name: str, text: str) -> None:
+        stamped = f"[scale: {scale}]\n{text}"
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(stamped + "\n")
+        print(f"\n{stamped}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Batching vs caching: how much does a little patience save?
+
+The era's other big lever for VOD economics was *batching* (Dan et al.
+1994): delay each showing to the next slot boundary so requests for the
+same title coalesce into one stream.  Our model makes the interplay with
+the paper's caching visible -- coalesced requests share streams as zero-lag
+relays, and the caches the shared stream seeds keep serving later slots.
+
+This script sweeps the batching window over a skewed prime-time evening and
+prints the waiting-time vs delivery-cost frontier.
+
+Run:  python examples/batching_tradeoff.py
+"""
+
+from repro import (
+    PeakHourArrivals,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.baselines import batching_study
+
+
+def main() -> None:
+    topology = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(8),
+    )
+    catalog = paper_catalog(150, seed=12)
+    batch = WorkloadGenerator(
+        topology,
+        catalog,
+        alpha=0.1,  # strongly skewed: lots of same-title demand to batch
+        users_per_neighborhood=10,
+        arrivals=PeakHourArrivals(),
+    ).generate(seed=12)
+    print(f"{len(batch)} prime-time reservations, heavily skewed catalog")
+    print()
+
+    study = batching_study(
+        batch,
+        topology,
+        catalog,
+        slots=(
+            0.0,
+            5 * units.MINUTE,
+            15 * units.MINUTE,
+            30 * units.MINUTE,
+            units.HOUR,
+            2 * units.HOUR,
+        ),
+    )
+    print(study.as_table())
+    costs = study.costs()
+    print()
+    print(
+        f"a {units.fmt_duration(30 * units.MINUTE)} window changes the bill "
+        f"by {100 * (costs[3] / costs[0] - 1):+.2f} % versus exact-time "
+        "service.\n\n"
+        "the headline finding is a NEGATIVE one: with the paper's cost-driven\n"
+        "caching in place, batching barely moves the bill -- the offline\n"
+        "scheduler already de-duplicates same-neighborhood demand through\n"
+        "caches, so coalescing start times only adds free relays (visible in\n"
+        "the 'shared streams' column) without removing paid transfers.  For\n"
+        "this infrastructure, patience buys little that caching hasn't\n"
+        "already bought; very wide windows can even cost MORE by squeezing\n"
+        "residencies into contended peaks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Capacity planning with the cost model: how much cache should we buy?
+
+A provider deploying intermediate storages must pick a per-site capacity.
+Bigger caches cut network traffic but storage has a price.  This example
+sweeps capacity and storage pricing over a fixed workload and reports the
+total-cost surface plus the marginal value of each capacity step -- exactly
+the "carefully examine these relationships when prototyping practical
+infrastructure" use the paper's conclusion recommends.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import units
+from repro.analysis import format_table
+from repro.experiments import ExperimentRunner, paper_config
+
+
+def main() -> None:
+    cfg = paper_config(
+        n_files=200,  # mid-size catalog keeps the sweep snappy
+        users_per_neighborhood=10,
+        alpha=0.271,
+        nrate_per_gb=500,
+    )
+    runner = ExperimentRunner(cfg)
+    capacities = (4, 5, 8, 11, 14, 20)
+    srates = (3, 8, 25)
+
+    rows = []
+    best: tuple[float, float, float] | None = None  # (cost, cap, srate)
+    for srate in srates:
+        for cap in capacities:
+            rec = runner.run(capacity_gb=cap, srate_per_gb_hour=srate)
+            rows.append(
+                [
+                    f"{cap:g} GB",
+                    f"{srate:g}",
+                    rec.total_cost,
+                    rec.storage_cost,
+                    rec.resolution_iterations,
+                ]
+            )
+            if best is None or rec.total_cost < best[0]:
+                best = (rec.total_cost, cap, srate)
+    print(
+        format_table(
+            [
+                "capacity",
+                "srate ($/GB/h)",
+                "total cost ($)",
+                "storage cost ($)",
+                "overflow fixes",
+            ],
+            rows,
+            title="capacity planning sweep (190 requests, alpha=0.271)",
+        )
+    )
+
+    # marginal value of capacity at the cheapest storage price
+    print()
+    marginal = []
+    prev = None
+    for cap in capacities:
+        rec = runner.run(capacity_gb=cap, srate_per_gb_hour=srates[0])
+        if prev is not None:
+            saved = prev[1] - rec.total_cost
+            marginal.append(
+                [
+                    f"{prev[0]:g} -> {cap:g} GB",
+                    saved,
+                    saved / (cap - prev[0]),
+                ]
+            )
+        prev = (cap, rec.total_cost)
+    print(
+        format_table(
+            ["capacity step", "cost saved ($)", "$ saved per GB added"],
+            marginal,
+            title=f"marginal value of cache capacity (srate={srates[0]:g})",
+        )
+    )
+    assert best is not None
+    print()
+    print(
+        f"cheapest configuration: {best[1]:g} GB per storage at "
+        f"srate={best[2]:g} $/GB/h -> ${best[0]:,.0f} total"
+    )
+
+
+if __name__ == "__main__":
+    main()

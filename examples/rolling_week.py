@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Operating the VOR service for a week of daily cycles.
+
+The paper schedules one reservation cycle in isolation; a deployed service
+rolls cycle after cycle, and caches committed near midnight still hold space
+(and can keep serving!) the next day.  This example runs seven daily cycles
+with the rolling scheduler and reports, per day: cost, carryover, and how
+often the next day's requests were served straight from a cache inherited
+from the previous day.
+
+Run:  python examples/rolling_week.py
+"""
+
+from repro import (
+    PeakHourArrivals,
+    RankChurn,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.analysis import format_table
+from repro.extensions import RollingScheduler
+from repro.workload.requests import Request, RequestBatch
+
+
+def main() -> None:
+    topology = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(8),
+    )
+    catalog = paper_catalog(200, seed=3)
+    generator = WorkloadGenerator(
+        topology,
+        catalog,
+        alpha=0.271,
+        users_per_neighborhood=8,
+        arrivals=PeakHourArrivals(),  # late-evening peak -> midnight tails
+    )
+    rolling = RollingScheduler(topology, catalog)
+    # popularity drifts day to day: ~10 % of titles change chart position
+    churn = RankChurn(len(catalog), churn=0.1, seed=3)
+
+    rows = []
+    total_net = 0.0
+    for day in range(7):
+        offset = day * units.DAY
+        raw = generator.generate(
+            seed=100 + day, rank_permutation=churn.permutation
+        )
+        churn.advance()
+        batch = RequestBatch(
+            Request(r.start_time + offset, r.video_id, f"d{day}/{r.user_id}", r.local_storage)
+            for r in raw
+        )
+        res = rolling.schedule_cycle(batch, cycle_end=offset + units.DAY)
+        total_net += res.net_total_cost
+        rows.append(
+            [
+                f"day {day}",
+                len(batch),
+                res.net_total_cost,
+                res.carried_in,
+                res.carried_out,
+                res.reused_carryover,
+                res.resolution.iterations,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "cycle",
+                "requests",
+                "net cost ($)",
+                "carried in",
+                "carried out",
+                "caches reused",
+                "overflow fixes",
+            ],
+            rows,
+            title="one week of rolling VOR cycles",
+        )
+    )
+    print()
+    print(f"week total (net of carryover credits): ${total_net:,.0f}")
+    print(
+        "caches committed before midnight keep serving the next morning --\n"
+        "'caches reused' counts next-day requests answered by extending an\n"
+        "inherited residency instead of re-streaming from the warehouse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Allows ``pip install -e . --no-build-isolation`` (and plain ``setup.py
+develop``) to work in offline environments that lack the ``wheel`` package
+required by the PEP 517 editable-install path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""Reproduction of Won & Srivastava (HPDC 1997).
+
+*Distributed Service Paradigm for Remote Video Retrieval Request*:
+a cost model and two-phase scheduling algorithm for Video-On-Reservation
+delivery over a video warehouse + intermediate-storage infrastructure.
+
+Quickstart::
+
+    from repro import (
+        VideoScheduler, WorkloadGenerator, paper_catalog, paper_topology,
+    )
+    from repro import units
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(seed=7)
+    batch = WorkloadGenerator(topo, catalog, alpha=0.271).generate(seed=7)
+    result = VideoScheduler(topo, catalog).solve(batch)
+    print(f"total cost ${result.total_cost:,.2f}")
+"""
+
+from repro import io, units
+from repro.billing import BillingStatement, Invoice, allocate_costs
+from repro.catalog import VideoCatalog, VideoFile, paper_catalog, uniform_catalog
+from repro.core import (
+    CostBreakdown,
+    CostModel,
+    DeliveryInfo,
+    FileSchedule,
+    HeatMetric,
+    IndividualScheduler,
+    OverflowSituation,
+    ResidencyInfo,
+    ResolutionStats,
+    Schedule,
+    ScheduleResult,
+    UsageTimeline,
+    VideoScheduler,
+    detect_overflows,
+    resolve_overflows,
+)
+from repro.topology import (
+    ChargingBasis,
+    Router,
+    Topology,
+    chain_topology,
+    paper_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+    validate_topology,
+    worked_example_topology,
+)
+from repro.service import CycleReport, VORService
+from repro.warehouse import StagingPlanner, StagingReport, WarehouseSpec
+from repro.workload import (
+    PeakHourArrivals,
+    RankChurn,
+    Request,
+    RequestBatch,
+    SlottedArrivals,
+    UniformArrivals,
+    WorkloadGenerator,
+    ZipfPopularity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "io",
+    "units",
+    "BillingStatement",
+    "Invoice",
+    "allocate_costs",
+    "VideoCatalog",
+    "VideoFile",
+    "paper_catalog",
+    "uniform_catalog",
+    "CostBreakdown",
+    "CostModel",
+    "DeliveryInfo",
+    "FileSchedule",
+    "HeatMetric",
+    "IndividualScheduler",
+    "OverflowSituation",
+    "ResidencyInfo",
+    "ResolutionStats",
+    "Schedule",
+    "ScheduleResult",
+    "UsageTimeline",
+    "VideoScheduler",
+    "detect_overflows",
+    "resolve_overflows",
+    "ChargingBasis",
+    "Router",
+    "Topology",
+    "chain_topology",
+    "paper_topology",
+    "random_topology",
+    "ring_topology",
+    "star_topology",
+    "tree_topology",
+    "validate_topology",
+    "worked_example_topology",
+    "CycleReport",
+    "VORService",
+    "StagingPlanner",
+    "StagingReport",
+    "WarehouseSpec",
+    "PeakHourArrivals",
+    "RankChurn",
+    "Request",
+    "RequestBatch",
+    "SlottedArrivals",
+    "UniformArrivals",
+    "WorkloadGenerator",
+    "ZipfPopularity",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""Descriptive statistics of a service schedule.
+
+Consolidates the quantities examples and reports keep recomputing ad hoc:
+how many services came from the warehouse vs caches vs relays, how far
+streams travelled, how many paid bytes moved, and how well the caches were
+shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.catalog.catalog import VideoCatalog
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate description of one schedule."""
+
+    n_deliveries: int
+    from_warehouse: int
+    from_cache: int
+    local_services: int  # zero-hop: served by the user's own storage
+    relays: int  # zero-extent residencies with services
+    residencies: int
+    mean_hops: float
+    network_bytes: float  # paid transfer volume (hops > 0 only)
+    cache_hit_ratio: float  # services not sourced at a warehouse
+    mean_services_per_residency: float
+
+    def as_table(self) -> str:
+        return format_table(
+            ["quantity", "value"],
+            [
+                ["deliveries", self.n_deliveries],
+                ["  from warehouse", self.from_warehouse],
+                ["  from caches", self.from_cache],
+                ["  of which local (0 hops)", self.local_services],
+                ["relay residencies", self.relays],
+                ["cache residencies", self.residencies],
+                ["mean hops per stream", round(self.mean_hops, 3)],
+                ["paid network volume (GB)", round(self.network_bytes / 1e9, 3)],
+                ["cache service share", f"{100 * self.cache_hit_ratio:.1f} %"],
+                [
+                    "services per residency",
+                    round(self.mean_services_per_residency, 2),
+                ],
+            ],
+            title="schedule statistics",
+        )
+
+
+def schedule_stats(schedule: Schedule, catalog: VideoCatalog) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a schedule."""
+    deliveries = schedule.deliveries
+    residencies = schedule.residencies
+    warehouses_sources = 0
+    cache_sources = 0
+    local = 0
+    hops_total = 0
+    net_bytes = 0.0
+    storage_locations = {c.location for c in residencies}
+    for d in deliveries:
+        hops_total += d.hops
+        if d.hops == 0:
+            local += 1
+        else:
+            net_bytes += catalog[d.video_id].network_volume
+        # a source that never hosts a residency in this schedule and isn't
+        # the destination itself is a warehouse
+        if d.hops == 0 or d.source in storage_locations:
+            cache_sources += 1
+        else:
+            warehouses_sources += 1
+    relays = sum(
+        1 for c in residencies if c.t_last == c.t_start and c.service_list
+    )
+    served_from_res = sum(len(c.service_list) for c in residencies)
+    return ScheduleStats(
+        n_deliveries=len(deliveries),
+        from_warehouse=warehouses_sources,
+        from_cache=cache_sources,
+        local_services=local,
+        relays=relays,
+        residencies=len(residencies),
+        mean_hops=hops_total / len(deliveries) if deliveries else 0.0,
+        network_bytes=net_bytes,
+        cache_hit_ratio=(
+            cache_sources / len(deliveries) if deliveries else 0.0
+        ),
+        mean_services_per_residency=(
+            served_from_res / len(residencies) if residencies else 0.0
+        ),
+    )

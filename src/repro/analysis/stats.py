@@ -1,0 +1,42 @@
+"""Summary statistics for experiment result collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary` of a non-empty numeric sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

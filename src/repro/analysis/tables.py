@@ -1,0 +1,62 @@
+"""Fixed-width text tables for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:,.1f}",
+) -> str:
+    """Render a simple aligned table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    Numeric columns are right-aligned, text columns left-aligned.
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    ncols = len(headers)
+    rendered: list[list[str]] = []
+    numeric = [True] * ncols
+    for row in rows:
+        if len(row) != ncols:
+            raise ReproError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+        cells = []
+        for j, cell in enumerate(row):
+            if isinstance(cell, bool):
+                cells.append(str(cell))
+                numeric[j] = False
+            elif isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            elif isinstance(cell, int):
+                cells.append(f"{cell:,}")
+            else:
+                cells.append(str(cell))
+                numeric[j] = False
+        rendered.append(cells)
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in rendered)) if rendered else len(headers[j])
+        for j in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, c in enumerate(cells):
+            parts.append(c.rjust(widths[j]) if numeric[j] else c.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)

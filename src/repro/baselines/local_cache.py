@@ -1,0 +1,76 @@
+"""Naive always-cache-locally baseline.
+
+A plausible-but-uninformed policy: the first stream of a file into a
+neighborhood opens a cache at the local storage, and every later request for
+the same file in that neighborhood extends it -- regardless of whether the
+extension is cheaper than a fresh warehouse stream.  Capacity is respected
+the same way the rejective greedy does (a residency that does not fit in the
+remaining space falls back to direct delivery), so the comparison against
+the cost-driven scheduler isolates the value of *pricing* the decision.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.rejective import fits_under
+from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
+from repro.core.spacefunc import UsageTimeline, residency_profile
+from repro.workload.requests import RequestBatch
+
+
+def local_cache_schedule(batch: RequestBatch, cost_model: CostModel) -> Schedule:
+    """Always-cache-at-local-IS schedule, capacity-aware, cost-blind."""
+    router = cost_model.router
+    topo = cost_model.topology
+    catalog = cost_model.catalog
+    vw = topo.warehouse.name
+    schedule = Schedule()
+    # committed profiles per location, grown as residencies are placed
+    committed: dict[str, list] = {s.name: [] for s in topo.storages}
+
+    for video_id, requests in batch.by_video().items():
+        video = catalog[video_id]
+        fs = FileSchedule(video_id)
+        open_cache: dict[str, ResidencyInfo] = {}  # location -> residency
+        for req in requests:
+            loc = req.local_storage
+            cache = open_cache.get(loc)
+            if cache is not None and cache.t_start <= req.start_time:
+                extended = cache.extended(req.start_time, req.user_id)
+                if _fits(extended, video, topo, committed, replacing=cache):
+                    open_cache[loc] = extended
+                    fs.add_delivery(
+                        DeliveryInfo(video_id, (loc,), req.start_time, req)
+                    )
+                    continue
+            # direct stream from the warehouse; open a cache if it fits later
+            route = router.route(vw, loc)
+            fs.add_delivery(
+                DeliveryInfo(video_id, route.nodes, req.start_time, req)
+            )
+            if loc not in open_cache:
+                open_cache[loc] = ResidencyInfo(
+                    video_id, loc, vw, req.start_time, req.start_time, ()
+                )
+        for c in open_cache.values():
+            if c.t_last > c.t_start:
+                fs.add_residency(c)
+                committed[c.location].append(c.profile(video))
+        schedule.set_file(fs)
+    return schedule
+
+
+def _fits(
+    candidate: ResidencyInfo,
+    video,
+    topo,
+    committed: dict[str, list],
+    *,
+    replacing: ResidencyInfo | None,
+) -> bool:
+    profile = candidate.profile(video)
+    capacity = topo.capacity(candidate.location)
+    if profile.peak > capacity:
+        return False
+    others = UsageTimeline(committed[candidate.location])
+    return fits_under(others, profile, capacity)

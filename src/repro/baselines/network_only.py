@@ -1,0 +1,40 @@
+"""The "network only system" baseline.
+
+Figures 5 and 7 of the paper compare the distributed-caching scheduler
+against an environment *without* intermediate storage: every request is an
+independent stream from the video warehouse to the user's local storage.
+Its cost is pure network cost and scales linearly in the network charging
+rate, which is exactly the straight line the paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.schedule import DeliveryInfo, FileSchedule, Schedule
+from repro.workload.requests import RequestBatch
+
+
+def network_only_schedule(batch: RequestBatch, cost_model: CostModel) -> Schedule:
+    """Direct-from-warehouse schedule: one VW stream per request, no caching."""
+    router = cost_model.router
+    vw = cost_model.topology.warehouse.name
+    schedule = Schedule()
+    for video_id, requests in batch.by_video().items():
+        fs = FileSchedule(video_id)
+        for req in requests:
+            route = router.route(vw, req.local_storage)
+            fs.add_delivery(
+                DeliveryInfo(
+                    video_id=video_id,
+                    route=route.nodes,
+                    start_time=req.start_time,
+                    request=req,
+                )
+            )
+        schedule.set_file(fs)
+    return schedule
+
+
+def network_only_cost(batch: RequestBatch, cost_model: CostModel) -> float:
+    """Ψ of the network-only schedule (the paper's straight-line baseline)."""
+    return cost_model.total(network_only_schedule(batch, cost_model))

@@ -1,0 +1,22 @@
+"""Video catalog substrate.
+
+The video warehouse archives "several thousand video files"; the experiments
+use 500 files of ~3.3 GB average size (Table 4).  This subpackage provides
+the immutable :class:`~repro.catalog.video.VideoFile` description and the
+:class:`~repro.catalog.catalog.VideoCatalog` container with deterministic
+catalog generators.
+"""
+
+from repro.catalog.video import VideoFile
+from repro.catalog.catalog import (
+    VideoCatalog,
+    paper_catalog,
+    uniform_catalog,
+)
+
+__all__ = [
+    "VideoFile",
+    "VideoCatalog",
+    "paper_catalog",
+    "uniform_catalog",
+]

@@ -1,0 +1,220 @@
+"""Command-line interface: reproduce any paper figure/table from a shell.
+
+Usage::
+
+    vor-repro worked-example
+    vor-repro fig5 [--quick] [--seed N]
+    vor-repro fig6 | fig7 | fig8 | fig9
+    vor-repro table5 [--quick]
+    vor-repro gap
+    vor-repro ablations | contention
+    vor-repro all [--quick]
+    vor-repro report [--quick] [--out DIR]
+    vor-repro run-env ENV.json     # schedule an environment file from disk
+
+``--quick`` swaps the Table 4 configuration for the scaled-down variant
+(same shapes, ~20x faster).  Every command prints the reproduced table and
+an ASCII rendition of the figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    ablation_bandwidth,
+    ablation_deposit_scope,
+    ablation_heat_metrics,
+    contention_sweep,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    optimality_gap,
+    paper_config,
+    quick_config,
+    table5,
+    worked_example,
+)
+
+_FIGURES = {
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vor-repro",
+        description=(
+            "Reproduce the evaluation of Won & Srivastava, 'Distributed "
+            "Service Paradigm for Remote Video Retrieval Request' (HPDC'97)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_FIGURES)
+        + [
+            "table5",
+            "gap",
+            "ablations",
+            "contention",
+            "worked-example",
+            "all",
+            "report",
+            "run-env",
+        ],
+        help="which paper artifact to reproduce ('report' writes all of "
+        "them to --out; 'run-env' schedules an environment JSON)",
+    )
+    parser.add_argument(
+        "env_file",
+        nargs="?",
+        default=None,
+        help="environment JSON for the 'run-env' command",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the scaled-down configuration (fast, same shapes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload seed (default 1)"
+    )
+    parser.add_argument(
+        "--out",
+        default="repro-report",
+        help="output directory for the 'report' command (default ./repro-report)",
+    )
+    return parser
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    cfg = quick_config() if args.quick else paper_config()
+    cfg = cfg.but(workload_seed=args.seed)
+    return ExperimentRunner(cfg)
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    t0 = time.perf_counter()
+    if name == "worked-example":
+        print(worked_example().as_table())
+    elif name in _FIGURES:
+        runner = _runner(args)
+        print(_FIGURES[name](runner).render())
+    elif name == "table5":
+        runner = _runner(args)
+        print(table5(runner).as_table())
+    elif name == "gap":
+        print(optimality_gap().as_table())
+    elif name == "contention":
+        cfg = quick_config(n_files=150) if args.quick else paper_config()
+        users = (4, 10, 24) if args.quick else (5, 10, 20, 40)
+        print(contention_sweep(cfg, users_axis=users).as_table())
+    elif name == "ablations":
+        runner = _runner(args)
+        for ablation in (
+            ablation_deposit_scope,
+            ablation_heat_metrics,
+            ablation_bandwidth,
+        ):
+            print(ablation(runner).as_table())
+            print()
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name!r}")
+    print(f"\n[{name} completed in {time.perf_counter() - t0:.1f}s]")
+
+
+def _write_report(args: argparse.Namespace) -> None:
+    """Regenerate every artifact and write it under ``--out``."""
+    import pathlib
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    runner = _runner(args)
+    artifacts: dict[str, str] = {
+        "worked_example": worked_example().as_table(),
+    }
+    for name, fn in _FIGURES.items():
+        artifacts[name] = fn(runner).render()
+    artifacts["table5"] = table5(runner).as_table()
+    artifacts["optimality_gap"] = optimality_gap().as_table()
+    for ablation in (
+        ablation_deposit_scope,
+        ablation_heat_metrics,
+        ablation_bandwidth,
+    ):
+        result = ablation(runner)
+        key = "ablation_" + ablation.__name__.removeprefix("ablation_")
+        artifacts[key] = result.as_table()
+    for name, text in artifacts.items():
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    index = out / "INDEX.txt"
+    index.write_text(
+        "\n".join(f"{k}.txt" for k in artifacts) + "\n"
+    )
+    print(f"wrote {index}")
+
+
+def _run_environment(args: argparse.Namespace) -> None:
+    """Schedule an environment file from disk and print the outcome."""
+    from repro.analysis import format_table
+    from repro.baselines import network_only_cost
+    from repro.core.costmodel import CostModel
+    from repro.core.scheduler import VideoScheduler
+    from repro.io import load_environment
+
+    if not args.env_file:
+        raise SystemExit("run-env requires an environment JSON path")
+    topology, catalog, batch = load_environment(args.env_file)
+    if batch is None:
+        raise SystemExit(
+            f"{args.env_file} contains no 'requests' section to schedule"
+        )
+    result = VideoScheduler(topology, catalog).solve(batch)
+    cm = CostModel(topology, catalog)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["requests", len(batch)],
+                ["deliveries", len(result.schedule.deliveries)],
+                ["residencies", len(result.schedule.residencies)],
+                ["network cost ($)", result.cost.network],
+                ["storage cost ($)", result.cost.storage],
+                ["total cost ($)", result.total_cost],
+                ["network-only baseline ($)", network_only_cost(batch, cm)],
+                ["overflow fixes", result.resolution.iterations],
+            ],
+            title=f"schedule for {args.env_file}",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "all":
+        for name in ["worked-example", *sorted(_FIGURES), "table5", "gap", "ablations"]:
+            print("=" * 78)
+            _run_one(name, args)
+            print()
+    elif args.experiment == "report":
+        _write_report(args)
+    elif args.experiment == "run-env":
+        _run_environment(args)
+    else:
+        _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

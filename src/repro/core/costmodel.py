@@ -1,0 +1,145 @@
+"""The cost model Ψ (paper Sec. 2.2, Eqs. 1-4).
+
+``Ψ(S) = Σ Ψ_C(c_i) + Σ Ψ_D(d_i)`` maps a service schedule to money:
+
+* **Storage** (Eqs. 2-3, unified via the Eq. 7 coefficient):
+
+      Ψ_C(c) = srate(loc) * size * gamma * ((t_f - t_s) + P/2)
+
+  with ``gamma = 1`` for long residencies (``t_f - t_s >= P``) and
+  ``gamma = (t_f - t_s)/P`` for short ones.  This is exactly the integral of
+  the Eq. 6 space profile, so storage cost == charged space-time.
+
+* **Network** (Eq. 4): the amortized bandwidth volume of a delivery is
+  ``P_i * B_i`` bytes; on a per-hop basis the transfer costs
+  ``P*B * Σ_hop nrate(hop)``, on an end-to-end basis ``P*B * nrate(src,dst)``.
+
+Charging rates are *inherent to each resource entity* (each storage node,
+each link), which is why the model reads them from the topology rather than
+taking global constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.catalog import VideoCatalog
+from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
+from repro.core.spacefunc import gamma_coefficient
+from repro.errors import ScheduleError
+from repro.topology.graph import ChargingBasis, Topology
+from repro.topology.routing import Router
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total schedule cost split by resource type (all in $)."""
+
+    storage: float
+    network: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.network
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(self.storage + other.storage, self.network + other.network)
+
+
+class CostModel:
+    """Evaluates Ψ over schedules against a fixed topology + catalog."""
+
+    def __init__(self, topology: Topology, catalog: VideoCatalog):
+        self._topo = topology
+        self._catalog = catalog
+        self._router = Router(topology)
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    @property
+    def catalog(self) -> VideoCatalog:
+        return self._catalog
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    # -- storage: Ψ_C -------------------------------------------------------
+
+    def residency_cost(self, c: ResidencyInfo) -> float:
+        """Ψ_C(c) per Eqs. 2-3 (unified with the Eq. 7 gamma)."""
+        video = self._catalog[c.video_id]
+        srate = self._topo.srate(c.location)
+        g = gamma_coefficient(c.t_start, c.t_last, video.playback)
+        return srate * video.size * g * (c.span + 0.5 * video.playback)
+
+    # -- network: Ψ_D -------------------------------------------------------
+
+    def network_multiplier(self, start_time: float) -> float:
+        """Time-of-day factor applied to network charges.
+
+        The base model charges flat rates (multiplier 1.0).  Subclasses --
+        e.g. :class:`repro.extensions.pricing.DiurnalCostModel` -- override
+        this to make transfers cheaper off-peak; both Ψ_D evaluation *and*
+        the greedy's candidate pricing consult it, so schedules are optimized
+        under the same tariff they are billed under.
+        """
+        del start_time
+        return 1.0
+
+    def delivery_cost(self, d: DeliveryInfo) -> float:
+        """Ψ_D(d) per Eq. 4 on the delivery's concrete route."""
+        video = self._catalog[d.video_id]
+        volume = video.network_volume
+        if len(d.route) == 1:
+            return 0.0  # served from the user's own local storage
+        multiplier = self.network_multiplier(d.start_time)
+        if self._topo.charging_basis is ChargingBasis.END_TO_END:
+            explicit = self._topo.pair_rate(d.source, d.destination)
+            if explicit is not None:
+                return volume * explicit * multiplier
+        rate = math.fsum(
+            self._topo.edge(a, b).nrate for a, b in zip(d.route, d.route[1:])
+        )
+        return volume * rate * multiplier
+
+    # -- aggregates ----------------------------------------------------------
+
+    def file_cost(self, fs: FileSchedule) -> CostBreakdown:
+        """Ψ(S_i): cost of one video's schedule, split by resource."""
+        storage = math.fsum(self.residency_cost(c) for c in fs.residencies)
+        network = math.fsum(self.delivery_cost(d) for d in fs.deliveries)
+        return CostBreakdown(storage, network)
+
+    def schedule_cost(self, schedule: Schedule) -> CostBreakdown:
+        """Ψ(S) = Σ_i Ψ(S_i) (Eq. 1)."""
+        total = CostBreakdown(0.0, 0.0)
+        for fs in schedule:
+            total = total + self.file_cost(fs)
+        return total
+
+    def total(self, schedule: Schedule) -> float:
+        """Scalar Ψ(S)."""
+        return self.schedule_cost(schedule).total
+
+    # -- convenience for the schedulers --------------------------------------
+
+    def transfer_rate(self, src: str, dst: str) -> float:
+        """Cheapest effective $/byte rate between two nodes."""
+        return self._router.rate(src, dst)
+
+    def residency_cost_for(
+        self, video_id: str, location: str, t_start: float, t_last: float
+    ) -> float:
+        """Ψ_C of a hypothetical residency, used for incremental pricing."""
+        if t_last < t_start:
+            raise ScheduleError(
+                f"residency interval reversed: [{t_start}, {t_last}]"
+            )
+        video = self._catalog[video_id]
+        srate = self._topo.srate(location)
+        g = gamma_coefficient(t_start, t_last, video.playback)
+        return srate * video.size * g * ((t_last - t_start) + 0.5 * video.playback)

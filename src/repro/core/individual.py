@@ -1,0 +1,384 @@
+"""Phase 1: Individual Video Scheduling (paper Sec. 3.2, Table 2).
+
+``IVSP_solve`` partitions the cycle's requests by video and computes each
+file's schedule independently with a greedy ``find_video_schedule`` modeled
+on Papadimitriou et al.'s rectilinear heuristic:
+
+Requests for a file are served in chronological order.  At every step the
+scheduler prices each available *copy* of the file -- the warehouse(s), which
+hold everything permanently for free, and every cache residency opened so far
+-- and serves the request from the cheapest one:
+
+* serving from a warehouse costs ``P*B * rate(VW, local_IS)`` (Eq. 4);
+* serving from a cache costs the transfer from the cache plus the *extension*
+  of the residency's interval to the new service's start time
+  (``Ψ_C(t_s, t_u) - Ψ_C(t_s, t_f_old)``), realizing the paper's "the resident
+  period of the file has to be extended" option.
+
+Each delivery stream then deposits **zero-cost cache candidates** at every
+intermediate storage it traverses (``t_s = t_f =`` stream start, hence
+``gamma = 0`` and ``Ψ_C = 0``): files are loaded "by copying data blocks from
+streams during transmission", so a passing stream is exactly the opportunity
+to introduce a new caching site -- the paper's other option.  A candidate
+costs nothing until a later request extends it; unused candidates are pruned
+from the final schedule.
+
+The same greedy, parameterized with residency constraints, becomes the
+capacity-aware *rejective greedy* of Sec. 4.4 (see
+:mod:`repro.core.rejective`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.catalog import VideoCatalog
+from repro.catalog.video import VideoFile
+from repro.core.costmodel import CostModel
+from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
+from repro.errors import ScheduleError
+from repro.topology.routing import Route
+from repro.workload.requests import Request, RequestBatch
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One priced way to serve a request (internal to the greedy)."""
+
+    cost: float
+    hops: int
+    kind_rank: int  # 0 = cache (preferred on ties), 1 = warehouse
+    source: str
+    route: Route
+    cache_index: int  # index into the residency list, -1 for warehouse
+
+    @property
+    def sort_key(self) -> tuple[float, int, int, str]:
+        return (self.cost, self.hops, self.kind_rank, self.source)
+
+
+class RoutePolicy:
+    """Pluggable route selection for the greedy scheduler.
+
+    The default policy always picks the cheapest route and never refuses.
+    The bandwidth extension (:mod:`repro.extensions.bandwidth`) overrides
+    :meth:`select` to skip routes whose links are saturated during the
+    stream's lifetime and :meth:`commit` to book the chosen route's capacity.
+    """
+
+    def __init__(self, router):
+        self._router = router
+
+    def select(
+        self, src: str, dst: str, t_start: float, t_end: float, bandwidth: float
+    ) -> Route | None:
+        """Route to use for a stream, or ``None`` if none is feasible."""
+        del t_start, t_end, bandwidth
+        return self._router.route(src, dst)
+
+    def commit(
+        self, route: Route, t_start: float, t_end: float, bandwidth: float
+    ) -> None:
+        """Record that a stream now occupies ``route`` over the window."""
+        del route, t_start, t_end, bandwidth
+
+
+class IndividualScheduler:
+    """Greedy per-file scheduler (``find_video_schedule`` of Table 2).
+
+    Args:
+        cost_model: Supplies the topology, catalog, router and Ψ pricing.
+        constraints: Optional residency constraints; ``None`` reproduces the
+            capacity-ignorant Phase-1 behaviour, a
+            :class:`~repro.core.rejective.ResidencyConstraints` instance
+            turns this into the Sec. 4.4 rejective greedy.
+        route_policy: Optional :class:`RoutePolicy`; defaults to
+            unconditional cheapest-path routing.
+        deposit_scope: Where streams open cache candidates: ``"route"``
+            (every traversed storage, the default) or ``"destination"``
+            (only the user's local storage).  The destination-only variant
+            exists for the ablation study -- it is strictly weaker.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        constraints=None,
+        route_policy=None,
+        *,
+        deposit_scope: str = "route",
+    ):
+        if deposit_scope not in ("route", "destination"):
+            raise ScheduleError(
+                f"deposit_scope must be 'route' or 'destination', got "
+                f"{deposit_scope!r}"
+            )
+        self._cm = cost_model
+        self._topo = cost_model.topology
+        self._router = cost_model.router
+        self._constraints = constraints
+        self._route_policy = (
+            route_policy if route_policy is not None else RoutePolicy(self._router)
+        )
+        self._deposit_scope = deposit_scope
+        self._warehouses = [w.name for w in self._topo.warehouses]
+        if not self._warehouses:
+            raise ScheduleError("topology has no warehouse to serve from")
+        self._storage_names = {s.name for s in self._topo.storages}
+
+    # -- public API ----------------------------------------------------------
+
+    def schedule_file(
+        self,
+        video: VideoFile,
+        requests: list[Request],
+        *,
+        initial_residencies: tuple[ResidencyInfo, ...] = (),
+    ) -> FileSchedule:
+        """Compute ``S_i`` for one video's chronologically-sorted requests.
+
+        ``initial_residencies`` seeds the greedy with committed caches from a
+        previous scheduling cycle (see :mod:`repro.extensions.rolling`): they
+        are kept in the output unconditionally and may be extended by this
+        cycle's requests, but never shrunk.
+        """
+        session = self.session(video, initial_residencies=initial_residencies)
+        for req in sorted(requests):
+            session.serve(req)
+        return session.finish()
+
+    def session(
+        self,
+        video: VideoFile,
+        *,
+        initial_residencies: tuple[ResidencyInfo, ...] = (),
+    ) -> "FileGreedySession":
+        """Incremental per-file greedy: serve requests one at a time.
+
+        Lets callers interleave requests of different videos (the
+        bandwidth-aware scheduler admits requests in global chronological
+        order) while each video keeps its own cache state.
+        """
+        # fail fast: residency pricing will need the catalog entry later
+        self._cm.catalog[video.video_id]
+        return FileGreedySession(self, video, initial_residencies)
+
+    def serve_into(
+        self,
+        video: VideoFile,
+        req: Request,
+        residencies: list[ResidencyInfo],
+        fs: FileSchedule,
+    ) -> None:
+        """One greedy step: price, pick, apply (used by sessions)."""
+        if req.video_id != video.video_id:
+            raise ScheduleError(
+                f"request for {req.video_id!r} passed to schedule of "
+                f"{video.video_id!r}"
+            )
+        choice = self._best_candidate(video, req, residencies)
+        self._apply(video, req, choice, residencies, fs)
+
+    def solve(self, batch: RequestBatch, catalog: VideoCatalog | None = None) -> Schedule:
+        """``IVSP_solve``: schedule every requested file independently."""
+        catalog = catalog if catalog is not None else self._cm.catalog
+        schedule = Schedule()
+        for video_id, requests in batch.by_video().items():
+            schedule.set_file(self.schedule_file(catalog[video_id], requests))
+        return schedule
+
+    # -- greedy internals ------------------------------------------------------
+
+    def _best_candidate(
+        self,
+        video: VideoFile,
+        req: Request,
+        residencies: list[ResidencyInfo],
+    ) -> _Candidate:
+        best: _Candidate | None = None
+        volume = video.network_volume * self._cm.network_multiplier(
+            req.start_time
+        )
+        t0, t1 = req.start_time, req.start_time + video.playback
+        for w in self._warehouses:
+            route = self._route_policy.select(
+                w, req.local_storage, t0, t1, video.bandwidth
+            )
+            if route is None:
+                continue
+            cand = _Candidate(volume * route.rate, route.hops, 1, w, route, -1)
+            if best is None or cand.sort_key < best.sort_key:
+                best = cand
+        for idx, c in enumerate(residencies):
+            if c.t_start > req.start_time:
+                continue  # cache not yet filled when the service starts
+            extended = c.extended(req.start_time, req.user_id)
+            if self._constraints is not None and not self._constraints.allows(
+                extended, video, replacing=c
+            ):
+                continue
+            route = self._route_policy.select(
+                c.location, req.local_storage, t0, t1, video.bandwidth
+            )
+            if route is None:
+                continue
+            ext_cost = self._cm.residency_cost_for(
+                video.video_id, c.location, extended.t_start, extended.t_last
+            ) - self._cm.residency_cost_for(
+                video.video_id, c.location, c.t_start, c.t_last
+            )
+            cand = _Candidate(
+                volume * route.rate + ext_cost, route.hops, 0, c.location, route, idx
+            )
+            if best is None or cand.sort_key < best.sort_key:
+                best = cand
+        if best is None:
+            # with the default route policy the warehouse is always feasible;
+            # a restrictive policy (e.g. bandwidth-aware) may exhaust options
+            raise ScheduleError(f"no feasible source for request {req}")
+        if not math.isfinite(best.cost):
+            raise ScheduleError(f"non-finite candidate cost for request {req}")
+        return best
+
+    def _apply(
+        self,
+        video: VideoFile,
+        req: Request,
+        choice: _Candidate,
+        residencies: list[ResidencyInfo],
+        fs: FileSchedule,
+    ) -> None:
+        if choice.cache_index >= 0:
+            old = residencies[choice.cache_index]
+            residencies[choice.cache_index] = old.extended(
+                req.start_time, req.user_id
+            )
+        delivery = DeliveryInfo(
+            video_id=video.video_id,
+            route=choice.route.nodes,
+            start_time=req.start_time,
+            request=req,
+        )
+        fs.add_delivery(delivery)
+        self._route_policy.commit(
+            choice.route,
+            req.start_time,
+            req.start_time + video.playback,
+            video.bandwidth,
+        )
+        self._deposit_candidates(video, delivery, residencies)
+
+    def _deposit_candidates(
+        self,
+        video: VideoFile,
+        delivery: DeliveryInfo,
+        residencies: list[ResidencyInfo],
+    ) -> None:
+        """Open zero-cost cache candidates at storages the stream traverses.
+
+        A node gets a candidate unless it already holds a residency of this
+        file that a future request could extend.  An *unused* candidate
+        (``t_f == t_s``, no services) is replaced by a fresher one: for
+        unused candidates a later ``t_s`` strictly dominates (extension cost
+        grows with ``t_f - t_s`` while causality only needs ``t_s <= t_u``).
+        """
+        t = delivery.start_time
+        occupied = {c.location: i for i, c in enumerate(residencies)}
+        nodes = (
+            delivery.route
+            if self._deposit_scope == "route"
+            else (delivery.destination,)
+        )
+        for node in nodes:
+            if node not in self._storage_names:
+                continue
+            if node == delivery.source:
+                continue  # the serving cache itself lives here already
+            candidate = ResidencyInfo(
+                video_id=video.video_id,
+                location=node,
+                source=delivery.source,
+                t_start=t,
+                t_last=t,
+                service_list=(),
+            )
+            if self._constraints is not None and not self._constraints.allows(
+                candidate, video, replacing=None
+            ):
+                continue
+            existing_idx = occupied.get(node)
+            if existing_idx is None:
+                residencies.append(candidate)
+            else:
+                existing = residencies[existing_idx]
+                if existing.t_last == existing.t_start and not existing.service_list:
+                    residencies[existing_idx] = candidate
+
+
+class FileGreedySession:
+    """Incremental greedy state for one video (see
+    :meth:`IndividualScheduler.session`).
+
+    Requests must be served in non-decreasing start-time order; the session
+    enforces this because the greedy's cache-extension pricing assumes
+    chronological processing.
+    """
+
+    def __init__(
+        self,
+        scheduler: IndividualScheduler,
+        video: VideoFile,
+        initial_residencies: tuple[ResidencyInfo, ...] = (),
+    ):
+        self._scheduler = scheduler
+        self._video = video
+        self._fs = FileSchedule(video.video_id)
+        self._residencies: list[ResidencyInfo] = []
+        for c in initial_residencies:
+            if c.video_id != video.video_id:
+                raise ScheduleError(
+                    f"seed residency of {c.video_id!r} passed to session of "
+                    f"{video.video_id!r}"
+                )
+            self._residencies.append(c)
+        self._last_time = -math.inf
+
+    def serve(self, req: Request) -> None:
+        """Serve one request, updating cache state and the file schedule.
+
+        Raises :class:`~repro.errors.ScheduleError` if no feasible source
+        exists (possible only under a restrictive route policy) -- in that
+        case the session state is unchanged and the caller may reject the
+        request and continue.
+        """
+        if req.start_time < self._last_time:
+            raise ScheduleError(
+                f"requests must be served chronologically: {req.start_time} < "
+                f"{self._last_time}"
+            )
+        self._scheduler.serve_into(self._video, req, self._residencies, self._fs)
+        self._last_time = req.start_time
+
+    def finish(self) -> FileSchedule:
+        """Finalize: prune unused cache candidates and return ``S_i``.
+
+        Zero-extent residencies that *served* someone (real-time relays of
+        simultaneous streams) are kept -- they back their deliveries.
+        """
+        self._fs.residencies = [
+            c
+            for c in self._residencies
+            if c.t_last > c.t_start or c.service_list
+        ]
+        return self._fs
+
+    @property
+    def schedule(self) -> FileSchedule:
+        """The schedule under construction (deliveries only are reliable)."""
+        return self._fs
+
+    @property
+    def residencies(self) -> list[ResidencyInfo]:
+        """Live view of the session's current cache state (do not mutate)."""
+        return self._residencies

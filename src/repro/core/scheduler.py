@@ -1,0 +1,98 @@
+"""The two-phase video scheduler facade (paper Sec. 3.1).
+
+:class:`VideoScheduler` wires the pieces together:
+
+1. **Individual Video Scheduling** -- per-file greedy schedules assuming
+   unbounded intermediate storage (:mod:`repro.core.individual`);
+2. **Integration + Storage Overflow Resolution** -- merge, detect
+   over-commitments, and reschedule victims until feasible
+   (:mod:`repro.core.sorp`).
+
+The returned :class:`ScheduleResult` carries the feasible schedule, its cost
+breakdown, and the Phase-1/Phase-2 statistics the paper reports (overflow
+counts, victims, relative cost increase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import VideoCatalog
+from repro.core.costmodel import CostBreakdown, CostModel
+from repro.core.heat import HeatMetric
+from repro.core.individual import IndividualScheduler
+from repro.core.schedule import Schedule
+from repro.core.sorp import ResolutionStats, resolve_overflows
+from repro.topology.graph import Topology
+from repro.topology.validation import validate_topology
+from repro.workload.requests import RequestBatch
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a full two-phase scheduling run."""
+
+    schedule: Schedule
+    cost: CostBreakdown
+    phase1_cost: CostBreakdown
+    resolution: ResolutionStats
+
+    @property
+    def total_cost(self) -> float:
+        """Ψ of the final feasible schedule."""
+        return self.cost.total
+
+    @property
+    def overflow_cost_ratio(self) -> float:
+        """Relative cost added by overflow resolution (Sec. 5.5)."""
+        return self.resolution.cost_increase_ratio
+
+
+class VideoScheduler:
+    """End-to-end scheduler for one cycle of VOR requests.
+
+    Args:
+        topology: The delivery infrastructure (validated on construction).
+        catalog: All schedulable videos.
+        heat_metric: Victim-selection criterion for Phase 2; defaults to the
+            paper's best performer, method 4 (``ΔS / overhead``, Eq. 11).
+        cost_model: Optional custom Ψ (e.g. a time-of-day tariff from
+            :mod:`repro.extensions.pricing`); must be built over the same
+            topology and catalog.  Defaults to the flat-rate paper model.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
+        cost_model: CostModel | None = None,
+    ):
+        validate_topology(topology)
+        self.topology = topology
+        self.catalog = catalog
+        self.heat_metric = heat_metric
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(topology, catalog)
+        )
+        self._phase1 = IndividualScheduler(self.cost_model)
+
+    def solve_individual(self, batch: RequestBatch) -> Schedule:
+        """Phase 1 only: capacity-ignorant per-file schedules (Table 2)."""
+        return self._phase1.solve(batch, self.catalog)
+
+    def solve(self, batch: RequestBatch) -> ScheduleResult:
+        """Full two-phase solve: greedy + overflow resolution."""
+        phase1 = self.solve_individual(batch)
+        phase1_cost = self.cost_model.schedule_cost(phase1)
+        feasible, stats = resolve_overflows(
+            phase1, batch, self.cost_model, metric=self.heat_metric
+        )
+        final = feasible.pruned()
+        return ScheduleResult(
+            schedule=final,
+            cost=self.cost_model.schedule_cost(final),
+            phase1_cost=phase1_cost,
+            resolution=stats,
+        )

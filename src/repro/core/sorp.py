@@ -1,0 +1,218 @@
+"""Phase 2: Storage Overflow Resolution (paper Sec. 4.3, Table 3).
+
+``SORP_solve`` iterates until the integrated schedule is capacity-feasible:
+detect every overflow situation, price the rescheduling of every member
+residency's file with the rejective greedy, pick the member with the largest
+*heat* as the victim, commit its new file schedule, and re-detect.
+
+Termination: the rejective greedy (a) never lets the victim occupy the
+overflowing ``(Δt, IS_j)`` and (b) only places residencies that fit in the
+currently available space, so each commit strictly reduces the total
+over-capacity space-time and never creates a new overflow.  A generous
+iteration cap guards against pathological numerical edge cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel
+from repro.core.heat import HeatMetric, compute_heat
+from repro.core.overflow import OverflowSituation, detect_overflows
+from repro.core.rejective import RejectiveGreedyScheduler
+from repro.core.schedule import FileSchedule, Schedule
+from repro.errors import OverflowResolutionError
+from repro.workload.requests import RequestBatch
+
+
+@dataclass
+class VictimRecord:
+    """One committed reschedule: who was evicted from where, at what cost."""
+
+    video_id: str
+    location: str
+    interval: tuple[float, float]
+    heat: float
+    overhead_cost: float
+
+
+@dataclass
+class ResolutionStats:
+    """Summary of one SORP run (feeds the Sec. 5.5 statistics)."""
+
+    iterations: int = 0
+    initial_overflows: int = 0
+    victims: list[VictimRecord] = field(default_factory=list)
+    phase1_cost: float = 0.0
+    resolved_cost: float = 0.0
+
+    @property
+    def had_overflow(self) -> bool:
+        return self.initial_overflows > 0
+
+    @property
+    def cost_increase(self) -> float:
+        """Absolute cost added by overflow resolution."""
+        return self.resolved_cost - self.phase1_cost
+
+    @property
+    def cost_increase_ratio(self) -> float:
+        """``(Ψ(S_SORP) - Ψ(S)) / Ψ(S)`` as reported in Sec. 5.5."""
+        if self.phase1_cost == 0.0:
+            return 0.0
+        return self.cost_increase / self.phase1_cost
+
+
+def resolve_overflows(
+    schedule: Schedule,
+    batch: RequestBatch,
+    cost_model: CostModel,
+    *,
+    metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
+    max_iterations: int | None = None,
+    background=None,
+    committed=None,
+) -> tuple[Schedule, ResolutionStats]:
+    """Run ``SORP_solve`` on an integrated Phase-1 schedule.
+
+    Args:
+        schedule: The integrated per-file schedules (not mutated).
+        batch: The cycle's requests (needed to rebuild victims' schedules).
+        cost_model: Pricing + topology + catalog.
+        metric: Victim-selection heat metric (the paper's best default is
+            method 4, ``ΔS / overhead``).
+        max_iterations: Safety cap; defaults to ``10 * #residencies + 100``.
+        background: Optional ``{location: [SpaceProfile, ...]}`` of space
+            committed outside this schedule (rolling cycles); counts toward
+            capacity, never victimized.
+        committed: Optional ``{video_id: (ResidencyInfo, ...)}`` of carryover
+            residencies a victim rebuild must retain (rolling cycles).
+
+    Returns:
+        ``(feasible_schedule, stats)``.  The input schedule is left intact.
+
+    Raises:
+        OverflowResolutionError: If the cap is hit (should not occur; see
+            the termination argument in the module docstring).
+    """
+    catalog = cost_model.catalog
+    topology = cost_model.topology
+    working = schedule.copy()
+    stats = ResolutionStats(phase1_cost=cost_model.total(working))
+    cap = (
+        max_iterations
+        if max_iterations is not None
+        else 10 * max(len(working.residencies), 1) + 100
+    )
+    rejective = RejectiveGreedyScheduler(cost_model)
+    requests_by_video = batch.by_video()
+    committed = committed or {}
+
+    overflows = detect_overflows(working, catalog, topology, background=background)
+    stats.initial_overflows = len(overflows)
+
+    while overflows:
+        stats.iterations += 1
+        if stats.iterations > cap:
+            raise OverflowResolutionError(
+                f"storage overflow unresolved after {cap} iterations "
+                f"({len(overflows)} overflow(s) remain)"
+            )
+        victim = _select_victim(
+            overflows,
+            working,
+            cost_model,
+            rejective,
+            requests_by_video,
+            metric,
+            background,
+            committed,
+        )
+        if victim is None:
+            raise OverflowResolutionError(
+                "no reschedulable member in any overflow set"
+            )
+        heat, overhead, overflow, new_fs = victim
+        working.set_file(new_fs)
+        stats.victims.append(
+            VictimRecord(
+                video_id=new_fs.video_id,
+                location=overflow.location,
+                interval=overflow.interval,
+                heat=heat,
+                overhead_cost=overhead,
+            )
+        )
+        overflows = detect_overflows(
+            working, catalog, topology, background=background
+        )
+
+    stats.resolved_cost = cost_model.total(working)
+    return working, stats
+
+
+def _select_victim(
+    overflows: list[OverflowSituation],
+    working: Schedule,
+    cost_model: CostModel,
+    rejective: RejectiveGreedyScheduler,
+    requests_by_video: dict,
+    metric: HeatMetric,
+    background,
+    committed: dict,
+) -> tuple[float, float, OverflowSituation, FileSchedule] | None:
+    """Price every (overflow, member) reschedule and return the hottest.
+
+    Ties break toward the lower overhead, then lexicographic video id, so
+    runs are fully deterministic.
+    """
+    catalog = cost_model.catalog
+    best_key: tuple[float, float, str] | None = None
+    best: tuple[float, float, OverflowSituation, FileSchedule] | None = None
+    for of in overflows:
+        for c in of.members:
+            video = catalog[c.video_id]
+            requests = requests_by_video.get(c.video_id)
+            if not requests:
+                continue  # e.g. a pure-carryover file: cannot be victimized
+            seeds = committed.get(c.video_id, ())
+            if any(
+                s.location == c.location
+                and s.t_start == c.t_start
+                and s.t_last >= c.t_last
+                for s in seeds
+            ):
+                continue  # this residency IS the committed carryover itself
+            new_fs = rejective.reschedule(
+                video,
+                requests,
+                working,
+                forbidden=[(of.location, of.interval)],
+                background=background,
+                initial_residencies=tuple(seeds),
+            )
+            old_cost = cost_model.file_cost(working.file(c.video_id)).total
+            new_cost = cost_model.file_cost(new_fs).total
+            overhead = new_cost - old_cost
+            heat = compute_heat(metric, c, video, of, overhead)
+            if math.isnan(heat):  # pragma: no cover - defensive
+                continue
+            key = (heat, -overhead, c.video_id)
+            if best_key is None or _key_greater(key, best_key):
+                best_key = key
+                best = (heat, overhead, of, new_fs)
+    return best
+
+
+def _key_greater(a: tuple[float, float, str], b: tuple[float, float, str]) -> bool:
+    """Lexicographic 'greater' with the video-id component compared *less*.
+
+    Heat and negated overhead are maximized; the id tie-break prefers the
+    lexicographically smallest id for determinism.
+    """
+    if a[0] != b[0]:
+        return a[0] > b[0]
+    if a[1] != b[1]:
+        return a[1] > b[1]
+    return a[2] < b[2]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the VOR reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Malformed topology: unknown node, duplicate edge, negative rate, ..."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two nodes, or a route references unknown nodes."""
+
+
+class CatalogError(ReproError):
+    """Malformed video catalog or unknown video id."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (bad Zipf parameter, empty cycle, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Structurally invalid schedule (negative interval, unknown node, ...)."""
+
+
+class CausalityError(ScheduleError):
+    """A schedule element consumes data before it is available at the source."""
+
+
+class CapacityError(ReproError):
+    """A hard capacity constraint is violated (simulator / validators)."""
+
+
+class OverflowResolutionError(ReproError):
+    """SORP could not resolve a storage overflow within its iteration budget."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency while executing."""

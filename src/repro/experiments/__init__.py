@@ -1,0 +1,57 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. 5).
+
+One module per paper experiment:
+
+* :mod:`~repro.experiments.exp1_network_rate`   -- Figs. 5 & 6
+* :mod:`~repro.experiments.exp2_storage_rate`   -- Figs. 7 & 8
+* :mod:`~repro.experiments.exp3_access_pattern` -- Fig. 9
+* :mod:`~repro.experiments.exp4_heat_metrics`   -- Table 5 + Sec. 5.5 stats
+* :mod:`~repro.experiments.worked_example`      -- Fig. 2 / Sec. 3.2 numbers
+* :mod:`~repro.experiments.ablations`           -- design-choice ablations
+
+All of them run against an :class:`~repro.experiments.runner.ExperimentRunner`
+built from a :class:`~repro.experiments.config.ExperimentConfig` (Table 4
+parameters by default; ``quick_config()`` for a scaled-down CI variant).
+"""
+
+from repro.experiments.config import ExperimentConfig, paper_config, quick_config
+from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.figures import FigureResult
+from repro.experiments.exp1_network_rate import fig5, fig6
+from repro.experiments.exp2_storage_rate import fig7, fig8
+from repro.experiments.exp3_access_pattern import fig9
+from repro.experiments.exp4_heat_metrics import (
+    HeatComparison,
+    optimality_gap,
+    table5,
+)
+from repro.experiments.exp5_contention import ContentionSweep, contention_sweep
+from repro.experiments.worked_example import worked_example
+from repro.experiments.ablations import (
+    ablation_deposit_scope,
+    ablation_heat_metrics,
+    ablation_bandwidth,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_config",
+    "quick_config",
+    "ExperimentRunner",
+    "RunRecord",
+    "FigureResult",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "HeatComparison",
+    "optimality_gap",
+    "table5",
+    "ContentionSweep",
+    "contention_sweep",
+    "worked_example",
+    "ablation_deposit_scope",
+    "ablation_heat_metrics",
+    "ablation_bandwidth",
+]

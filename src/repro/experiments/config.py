@@ -1,0 +1,121 @@
+"""Experiment configuration (paper Table 4).
+
+The paper's parameter values, quoted in its "arbitrary charging system":
+
+=============================  =======================================
+Number of files                500
+Average video file size        3.3 GB
+Storage charging rate          3, 4, 5, 6, 7, 8   (per GB*sec in the
+                               paper's table; we interpret the unit as
+                               $/(GB*hour), which reproduces the paper's
+                               cost magnitudes -- see DESIGN.md)
+Intermediate storage size      5, 8, 11, 14 GB
+Network charging rate          300 .. 1000 ($/GB)
+Access pattern (Zipf alpha)    0.1, 0.271, 0.5, 0.7
+Users per neighborhood         10
+Topology                       20 nodes: 1 VW + 19 IS (Fig. 4)
+=============================  =======================================
+
+``paper_config()`` returns exactly this; ``quick_config()`` a scaled-down
+variant (fewer files/users) for fast tests with the same qualitative
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.heat import HeatMetric
+from repro.errors import ConfigError
+from repro import units
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to instantiate one experimental environment."""
+
+    # catalog
+    n_files: int = 500
+    mean_file_size: float = 3.3 * units.GB
+    catalog_seed: int = 1
+
+    # workload
+    users_per_neighborhood: int = 10
+    alpha: float = 0.271
+    arrivals: str = "uniform"  # "uniform" | "peak" | "slotted"
+    workload_seed: int = 1
+
+    # environment defaults (single-run values; sweeps override per axis)
+    nrate_per_gb: float = 500.0
+    srate_per_gb_hour: float = 5.0
+    capacity_gb: float = 5.0
+
+    # scheduler
+    heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST
+
+    # sweep axes (Table 4)
+    nrate_axis: tuple[float, ...] = (300, 400, 500, 600, 700, 800, 900, 1000)
+    srate_axis: tuple[float, ...] = (3, 4, 5, 6, 7, 8)
+    capacity_axis: tuple[float, ...] = (5, 8, 11, 14)
+    alpha_axis: tuple[float, ...] = (0.1, 0.271, 0.5, 0.7)
+
+    # storage-rate saturation sweep (Figs. 7-8 span a wider range)
+    srate_wide_axis: tuple[float, ...] = (0, 25, 50, 100, 200, 400, 600)
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise ConfigError(f"n_files must be >= 1, got {self.n_files}")
+        if self.users_per_neighborhood < 1:
+            raise ConfigError(
+                "users_per_neighborhood must be >= 1, got "
+                f"{self.users_per_neighborhood}"
+            )
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ConfigError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.arrivals not in ("uniform", "peak", "slotted"):
+            raise ConfigError(f"unknown arrivals kind {self.arrivals!r}")
+
+    def but(self, **kwargs) -> "ExperimentConfig":
+        """Copy with fields replaced (sweeps use this per grid point)."""
+        return replace(self, **kwargs)
+
+    # -- unit conversions -------------------------------------------------
+
+    @property
+    def nrate(self) -> float:
+        """Default network rate in $/byte."""
+        return units.per_gb(self.nrate_per_gb)
+
+    @property
+    def srate(self) -> float:
+        """Default storage rate in $/(byte*s)."""
+        return units.per_gb_hour(self.srate_per_gb_hour)
+
+    @property
+    def capacity(self) -> float:
+        """Default storage capacity in bytes."""
+        return units.gb(self.capacity_gb)
+
+
+def paper_config(**overrides) -> ExperimentConfig:
+    """The exact Table 4 setup (keyword overrides applied on top)."""
+    return ExperimentConfig(**overrides)
+
+
+def quick_config(**overrides) -> ExperimentConfig:
+    """Scaled-down configuration for fast tests.
+
+    60 files, 4 users per neighborhood, shorter sweep axes; same topology
+    and rate regimes, so every qualitative result shape is preserved.
+    """
+    defaults = dict(
+        n_files=60,
+        users_per_neighborhood=4,
+        nrate_axis=(300, 500, 700, 1000),
+        srate_axis=(3, 5, 8),
+        capacity_axis=(5, 8, 11),
+        alpha_axis=(0.1, 0.271, 0.5, 0.7),
+        srate_wide_axis=(0, 50, 150, 400, 600),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

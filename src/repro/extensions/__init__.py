@@ -1,0 +1,35 @@
+"""Extensions beyond the base paper.
+
+* :mod:`repro.extensions.bandwidth` -- the paper's stated future work
+  ("resolve the bandwidth constraints of the intermediate storages and
+  communication network"): per-link capacities, a booking tracker, a
+  bandwidth-aware route policy with k-cheapest alternates, and an
+  admission-controlled scheduler that rejects rather than over-commits.
+* :mod:`repro.extensions.rolling` -- multi-cycle VOR operation: residency
+  tails carried across cycle boundaries as committed background usage, with
+  cross-cycle cache reuse via greedy seeding.
+* :mod:`repro.extensions.pricing` -- time-of-day network tariffs (the
+  Cocchi/Shenker pricing literature the paper cites): the scheduler
+  optimizes under the same diurnal multiplier it is billed under.
+"""
+
+from repro.extensions.bandwidth import (
+    BandwidthAwareResult,
+    BandwidthAwareScheduler,
+    BandwidthRoutePolicy,
+    LinkBandwidthTracker,
+)
+from repro.extensions.pricing import DiurnalCostModel, TariffBand, TimeOfDayTariff
+from repro.extensions.rolling import CycleResult, RollingScheduler
+
+__all__ = [
+    "BandwidthAwareResult",
+    "BandwidthAwareScheduler",
+    "BandwidthRoutePolicy",
+    "LinkBandwidthTracker",
+    "DiurnalCostModel",
+    "TariffBand",
+    "TimeOfDayTariff",
+    "CycleResult",
+    "RollingScheduler",
+]

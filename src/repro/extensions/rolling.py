@@ -1,0 +1,210 @@
+"""Rolling multi-cycle VOR operation.
+
+The paper schedules one cycle in isolation ("the scheduler collects the
+requests for the cycle").  A deployed VOR service schedules cycle after
+cycle, and residencies committed near the end of cycle ``k`` still occupy
+intermediate-storage space at the start of cycle ``k+1`` (their Eq. 6 drain
+tails cross the boundary).  :class:`RollingScheduler` makes the paper's
+algorithm operational across cycles:
+
+* **carryover accounting** -- residency tails from previous cycles count
+  against capacity (as SORP *background*) but can never be victimized: they
+  back already-promised services;
+* **cross-cycle cache reuse** -- when a carried-over title is requested
+  again, the greedy is *seeded* with the committed residency and may extend
+  it, paying only the Eq. 2/3 difference.  A victim rebuild reverts to (but
+  never below) the committed interval.
+
+Each call to :meth:`RollingScheduler.schedule_cycle` consumes one batch,
+returns that cycle's feasible schedule + stats, and rolls the carryover
+state forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import VideoCatalog
+from repro.core.costmodel import CostBreakdown, CostModel
+from repro.core.heat import HeatMetric
+from repro.core.individual import IndividualScheduler
+from repro.core.schedule import ResidencyInfo, Schedule
+from repro.core.sorp import ResolutionStats, resolve_overflows
+from repro.core.spacefunc import SpaceProfile
+from repro.errors import ScheduleError
+from repro.topology.graph import Topology
+from repro.topology.validation import validate_topology
+from repro.workload.requests import RequestBatch
+
+
+@dataclass
+class CycleResult:
+    """Outcome of scheduling one cycle in a rolling operation."""
+
+    cycle_index: int
+    schedule: Schedule
+    cost: CostBreakdown
+    resolution: ResolutionStats
+    carried_in: int  # residencies inherited from previous cycles
+    carried_out: int  # residencies handed to the next cycle
+    reused_carryover: int  # inherited residencies extended by this cycle
+    #: Storage cost of the committed carryover intervals embedded in this
+    #: cycle's schedule.  Already paid by the previous cycle; subtract it to
+    #: get this cycle's incremental spend.
+    carryover_credit: float = 0.0
+    #: The residencies inherited at cycle start.  Their feeder streams live
+    #: in the previous cycle's schedule, so validators must trust them.
+    inherited: tuple[ResidencyInfo, ...] = ()
+
+    @property
+    def total_cost(self) -> float:
+        """Gross Ψ of this cycle's schedule (incl. inherited intervals)."""
+        return self.cost.total
+
+    @property
+    def net_total_cost(self) -> float:
+        """This cycle's incremental spend: gross minus the carryover credit."""
+        return self.cost.total - self.carryover_credit
+
+
+class RollingScheduler:
+    """Cycle-after-cycle scheduler with carryover residency state."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
+        cost_model: CostModel | None = None,
+    ):
+        validate_topology(topology)
+        self.topology = topology
+        self.catalog = catalog
+        self.heat_metric = heat_metric
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(topology, catalog)
+        )
+        self._greedy = IndividualScheduler(self.cost_model)
+        #: committed residencies whose occupancy outlives their cycle
+        self._carryover: dict[str, list[ResidencyInfo]] = {}
+        self._cycle_index = 0
+        self._last_boundary = float("-inf")
+
+    @property
+    def carryover(self) -> list[ResidencyInfo]:
+        """Residencies currently carried into the next cycle."""
+        return [c for cs in self._carryover.values() for c in cs]
+
+    def schedule_cycle(
+        self, batch: RequestBatch, *, cycle_end: float
+    ) -> CycleResult:
+        """Schedule one cycle's batch against the inherited carryover state.
+
+        Args:
+            batch: This cycle's requests (absolute start times).
+            cycle_end: Absolute end of this cycle; residencies whose
+                occupancy extends past it become the next cycle's carryover.
+        """
+        if batch and batch.span[0] < self._last_boundary:
+            raise ScheduleError(
+                f"cycle batches must move forward in time: request at "
+                f"{batch.span[0]} precedes previous boundary "
+                f"{self._last_boundary}"
+            )
+        if batch and batch.span[1] > cycle_end:
+            raise ScheduleError(
+                f"request at {batch.span[1]} lies beyond cycle_end={cycle_end}"
+            )
+        carried_in = sum(len(v) for v in self._carryover.values())
+        inherited = tuple(
+            c for cs in self._carryover.values() for c in cs
+        )
+
+        # Phase 1 with carryover seeding: requested carried-over titles may
+        # extend their committed caches; the rest become capacity background.
+        requested = set(batch.video_ids)
+        schedule = Schedule()
+        seeds: dict[str, tuple[ResidencyInfo, ...]] = {}
+        for video_id, requests in batch.by_video().items():
+            seed = tuple(self._carryover.get(video_id, ()))
+            seeds[video_id] = seed
+            schedule.set_file(
+                self._greedy.schedule_file(
+                    self.catalog[video_id], requests, initial_residencies=seed
+                )
+            )
+        background: dict[str, list[SpaceProfile]] = {}
+        for video_id, residencies in self._carryover.items():
+            if video_id in requested:
+                continue  # seeded into the greedy instead
+            for c in residencies:
+                background.setdefault(c.location, []).append(
+                    c.profile(self.catalog[c.video_id])
+                )
+
+        resolved, stats = resolve_overflows(
+            schedule,
+            batch,
+            self.cost_model,
+            metric=self.heat_metric,
+            background=background,
+            committed=seeds,
+        )
+        final = resolved.pruned()
+
+        reused = self._count_reused(final, seeds)
+        credit = sum(
+            self.cost_model.residency_cost(s)
+            for seed in seeds.values()
+            for s in seed
+        )
+        self._roll_state(final, cycle_end)
+        self._last_boundary = cycle_end
+        result = CycleResult(
+            cycle_index=self._cycle_index,
+            schedule=final,
+            cost=self.cost_model.schedule_cost(final),
+            resolution=stats,
+            carried_in=carried_in,
+            carried_out=sum(len(v) for v in self._carryover.values()),
+            reused_carryover=reused,
+            carryover_credit=credit,
+            inherited=inherited,
+        )
+        self._cycle_index += 1
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _count_reused(
+        self, final: Schedule, seeds: dict[str, tuple[ResidencyInfo, ...]]
+    ) -> int:
+        reused = 0
+        for video_id, seed in seeds.items():
+            by_loc = {s.location: s for s in seed}
+            if video_id not in final:
+                continue
+            for c in final.file(video_id).residencies:
+                s = by_loc.get(c.location)
+                if s is not None and c.t_start == s.t_start and c.t_last > s.t_last:
+                    reused += 1
+        return reused
+
+    def _roll_state(self, final: Schedule, cycle_end: float) -> None:
+        """Carry forward every residency still occupying space past the end."""
+        new_carry: dict[str, list[ResidencyInfo]] = {}
+        # this cycle's schedule (includes extended seeds for requested titles)
+        for c in final.residencies:
+            video = self.catalog[c.video_id]
+            if c.t_last + video.playback > cycle_end:
+                new_carry.setdefault(c.video_id, []).append(c)
+        # unrequested carryover whose tails still cross the new boundary
+        for video_id, residencies in self._carryover.items():
+            if video_id in {fs.video_id for fs in final}:
+                continue
+            video = self.catalog[video_id]
+            for c in residencies:
+                if c.t_last + video.playback > cycle_end:
+                    new_carry.setdefault(video_id, []).append(c)
+        self._carryover = new_carry

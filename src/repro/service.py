@@ -1,0 +1,188 @@
+"""The end-to-end Video-On-Reservation service operator.
+
+:class:`VORService` is the facade a provider would actually run: it accepts
+reservations ahead of time (enforcing the VOR lead time that makes offline
+optimization possible), closes a scheduling cycle on demand, and returns a
+complete :class:`CycleReport` -- the feasible schedule, its cost, per-user
+invoices, an optional warehouse staging plan, and the simulator's
+feasibility verdict.  Cycles roll: caches committed near a boundary keep
+serving (and occupying space) into the next cycle.
+
+    service = VORService(topology, catalog)
+    service.reserve("alice", "video0001", start_time=t, local_storage="IS3")
+    ...
+    report = service.close_cycle(cycle_end=midnight)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.billing import BillingStatement, allocate_costs
+from repro.catalog.catalog import VideoCatalog
+from repro.core.costmodel import CostBreakdown, CostModel
+from repro.core.heat import HeatMetric
+from repro.errors import ScheduleError, WorkloadError
+from repro.extensions.rolling import CycleResult, RollingScheduler
+from repro.sim.validate import Violation, validate_schedule
+from repro.topology.graph import Topology
+from repro.warehouse.hierarchy import WarehouseSpec
+from repro.warehouse.staging import StagingPlanner, StagingReport
+from repro.workload.requests import Request, RequestBatch
+from repro import units
+
+
+@dataclass
+class CycleReport:
+    """Everything a cycle close produces."""
+
+    cycle: CycleResult
+    billing: BillingStatement
+    violations: list[Violation]
+    staging: StagingReport | None = None
+    rejected: list[tuple[Request, str]] = field(default_factory=list)
+
+    @property
+    def cost(self) -> CostBreakdown:
+        return self.cycle.cost
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"cycle {self.cycle.cycle_index}: "
+            f"{len(self.cycle.schedule.deliveries)} services, "
+            f"${self.cycle.net_total_cost:,.2f} net "
+            f"(${self.cost.network:,.2f} network / "
+            f"${self.cost.storage:,.2f} storage)",
+            f"  carryover: {self.cycle.carried_in} in, "
+            f"{self.cycle.carried_out} out, "
+            f"{self.cycle.reused_carryover} reused",
+            f"  overflow fixes: {self.cycle.resolution.iterations} "
+            f"(+{100 * self.cycle.resolution.cost_increase_ratio:.2f} % cost)",
+            f"  feasible: {self.feasible}",
+        ]
+        if self.staging is not None:
+            lines.append(
+                f"  warehouse: {len(self.staging.tasks)} stagings, "
+                f"{self.staging.hits} hits, "
+                f"{len(self.staging.misses)} misses"
+            )
+        if self.rejected:
+            lines.append(f"  rejected reservations: {len(self.rejected)}")
+        return "\n".join(lines)
+
+
+class VORService:
+    """Reservation intake + rolling scheduling + billing + validation.
+
+    Args:
+        topology: The delivery infrastructure.
+        catalog: Offered titles.
+        lead_time: Minimum seconds between booking and showing (the "some
+            time in advance" that defines VOR; default one hour).
+        heat_metric: Phase-2 victim selection criterion.
+        cost_model: Optional custom Ψ (e.g. a diurnal tariff).
+        warehouse: Optional hierarchical-warehouse spec; when given, every
+            cycle close also plans tape staging.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        lead_time: float = units.HOUR,
+        heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
+        cost_model: CostModel | None = None,
+        warehouse: WarehouseSpec | None = None,
+    ):
+        if lead_time < 0:
+            raise ScheduleError(f"lead_time must be >= 0, got {lead_time}")
+        self.topology = topology
+        self.catalog = catalog
+        self.lead_time = lead_time
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(topology, catalog)
+        )
+        self._rolling = RollingScheduler(
+            topology,
+            catalog,
+            heat_metric=heat_metric,
+            cost_model=self.cost_model,
+        )
+        self._warehouse = warehouse
+        self._staging_planner = (
+            StagingPlanner(warehouse, catalog) if warehouse is not None else None
+        )
+        self._pending: list[Request] = []
+        self._storage_names = {s.name for s in topology.storages}
+        self._clock = 0.0  # last cycle boundary
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def reserve(
+        self,
+        user_id: str,
+        video_id: str,
+        start_time: float,
+        *,
+        local_storage: str,
+        now: float | None = None,
+    ) -> Request:
+        """Accept one reservation.
+
+        Raises :class:`~repro.errors.WorkloadError` when the title is
+        unknown, the neighborhood storage does not exist, the showing is in
+        the past, or the lead time is not respected.
+        """
+        if video_id not in self.catalog:
+            raise WorkloadError(f"unknown title {video_id!r}")
+        if local_storage not in self._storage_names:
+            raise WorkloadError(f"unknown neighborhood storage {local_storage!r}")
+        booking_time = self._clock if now is None else now
+        if start_time < booking_time + self.lead_time:
+            raise WorkloadError(
+                f"reservations need {units.fmt_duration(self.lead_time)} lead "
+                f"time: showing at {start_time:g} booked at {booking_time:g}"
+            )
+        request = Request(start_time, video_id, user_id, local_storage)
+        self._pending.append(request)
+        return request
+
+    def close_cycle(self, *, cycle_end: float) -> CycleReport:
+        """Schedule all reservations starting before ``cycle_end``.
+
+        Later reservations stay pending for the next cycle.  Returns the
+        full :class:`CycleReport`; the service's clock advances to
+        ``cycle_end``.
+        """
+        due = [r for r in self._pending if r.start_time <= cycle_end]
+        self._pending = [r for r in self._pending if r.start_time > cycle_end]
+        batch = RequestBatch(due)
+
+        cycle = self._rolling.schedule_cycle(batch, cycle_end=cycle_end)
+        billing = allocate_costs(cycle.schedule, self.cost_model)
+        violations = validate_schedule(
+            cycle.schedule,
+            batch,
+            self.cost_model,
+            trusted_residencies=cycle.inherited,
+        )
+        staging = (
+            self._staging_planner.plan(cycle.schedule)
+            if self._staging_planner is not None
+            else None
+        )
+        self._clock = cycle_end
+        return CycleReport(
+            cycle=cycle,
+            billing=billing,
+            violations=violations,
+            staging=staging,
+        )

@@ -1,0 +1,180 @@
+"""Event-driven execution of a service schedule.
+
+:class:`SimulationEngine` expands a schedule into stream/service/cache
+events, replays them chronologically, and aggregates per-resource usage:
+
+* per-storage occupancy timelines under both the **fluid** physical model and
+  the paper's **Eq. 6 reserved** model,
+* per-link concurrent-bandwidth timelines (each delivery occupies every edge
+  of its route at the video's bandwidth for one playback length),
+* an execution trace (the ordered event list) for inspection and reporting.
+
+The engine observes; it does not judge.  Feasibility checks live in
+:mod:`repro.sim.validate`, which consumes the engine's report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import VideoCatalog
+from repro.core.costmodel import CostModel
+from repro.core.schedule import Schedule
+from repro.core.spacefunc import SpaceProfile, UsageTimeline, LinearSegment
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.fluid import fluid_occupancy_profile
+
+
+@dataclass
+class LinkLoad:
+    """Bandwidth usage on one undirected link."""
+
+    edge: tuple[str, str]
+    timeline: UsageTimeline
+    capacity: float
+
+    @property
+    def peak(self) -> float:
+        return self.timeline.peak
+
+    @property
+    def saturated_intervals(self) -> list[tuple[float, float]]:
+        if self.capacity == float("inf"):
+            return []
+        return self.timeline.intervals_above(self.capacity)
+
+
+@dataclass
+class StorageLoad:
+    """Occupancy at one storage under both space models."""
+
+    location: str
+    fluid: UsageTimeline
+    reserved: UsageTimeline
+    capacity: float
+
+    @property
+    def fluid_peak(self) -> float:
+        return self.fluid.peak
+
+    @property
+    def reserved_peak(self) -> float:
+        return self.reserved.peak
+
+
+@dataclass
+class SimulationReport:
+    """Everything the engine observed while executing a schedule."""
+
+    trace: list[Event] = field(default_factory=list)
+    storages: dict[str, StorageLoad] = field(default_factory=dict)
+    links: dict[tuple[str, str], LinkLoad] = field(default_factory=dict)
+    n_streams: int = 0
+    n_services: int = 0
+    n_residencies: int = 0
+
+    @property
+    def makespan(self) -> tuple[float, float]:
+        """(first event time, last event time); (0, 0) for an empty trace."""
+        if not self.trace:
+            return (0.0, 0.0)
+        return (self.trace[0].time, self.trace[-1].time)
+
+
+class SimulationEngine:
+    """Replays a schedule under the fluid-flow semantics."""
+
+    def __init__(self, cost_model: CostModel):
+        self._cm = cost_model
+        self._topo = cost_model.topology
+        self._catalog: VideoCatalog = cost_model.catalog
+
+    def run(self, schedule: Schedule) -> SimulationReport:
+        """Execute ``schedule`` and return the full observation report."""
+        report = SimulationReport()
+        queue = EventQueue()
+        link_profiles: dict[tuple[str, str], list[SpaceProfile]] = {}
+
+        for fs in schedule:
+            video = self._catalog[fs.video_id]
+            for d in fs.deliveries:
+                t0, t1 = d.start_time, d.start_time + video.playback
+                queue.push(
+                    t0,
+                    EventKind.STREAM_START,
+                    {"video": fs.video_id, "route": d.route},
+                )
+                queue.push(
+                    t1, EventKind.STREAM_END, {"video": fs.video_id, "route": d.route}
+                )
+                queue.push(
+                    t0,
+                    EventKind.SERVICE_START,
+                    {"video": fs.video_id, "user": d.request.user_id},
+                )
+                queue.push(
+                    t1,
+                    EventKind.SERVICE_END,
+                    {"video": fs.video_id, "user": d.request.user_id},
+                )
+                report.n_streams += 1
+                report.n_services += 1
+                for a, b in zip(d.route, d.route[1:]):
+                    key = (a, b) if a <= b else (b, a)
+                    link_profiles.setdefault(key, []).append(
+                        SpaceProfile(
+                            (
+                                LinearSegment(
+                                    t0, t1, video.bandwidth, video.bandwidth
+                                ),
+                            )
+                        )
+                    )
+            for c in fs.residencies:
+                queue.push(
+                    c.t_start,
+                    EventKind.CACHE_OPEN,
+                    {"video": fs.video_id, "location": c.location},
+                )
+                queue.push(
+                    c.t_last,
+                    EventKind.CACHE_LAST_SERVICE,
+                    {"video": fs.video_id, "location": c.location},
+                )
+                queue.push(
+                    c.t_last + video.playback,
+                    EventKind.CACHE_RELEASE,
+                    {"video": fs.video_id, "location": c.location},
+                )
+                report.n_residencies += 1
+
+        report.trace = queue.drain()
+
+        # aggregate storage occupancy under both models
+        by_loc: dict[str, tuple[list[SpaceProfile], list[SpaceProfile]]] = {}
+        for fs in schedule:
+            video = self._catalog[fs.video_id]
+            for c in fs.residencies:
+                fluid_p = fluid_occupancy_profile(
+                    video.size, video.playback, c.t_start, c.t_last
+                )
+                reserved_p = c.profile(video)
+                fl, rs = by_loc.setdefault(c.location, ([], []))
+                fl.append(fluid_p)
+                rs.append(reserved_p)
+        for spec in self._topo.storages:
+            fl, rs = by_loc.get(spec.name, ([], []))
+            report.storages[spec.name] = StorageLoad(
+                location=spec.name,
+                fluid=UsageTimeline(fl),
+                reserved=UsageTimeline(rs),
+                capacity=spec.capacity,
+            )
+
+        for key, profiles in link_profiles.items():
+            report.links[key] = LinkLoad(
+                edge=key,
+                timeline=UsageTimeline(profiles),
+                capacity=self._topo.edge(*key).bandwidth,
+            )
+        return report

@@ -1,0 +1,84 @@
+"""Event primitives for the schedule-execution engine.
+
+A minimal, allocation-light discrete-event core: events carry a time, a kind
+and an opaque payload; the queue pops them in (time, sequence) order so
+simultaneous events preserve insertion order deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    """What happened at a point in simulated time."""
+
+    STREAM_START = "stream_start"  # a delivery's flow begins at its source
+    STREAM_END = "stream_end"  # the flow's last block leaves the source
+    SERVICE_START = "service_start"  # a user's playback begins
+    SERVICE_END = "service_end"  # a user's playback completes
+    CACHE_OPEN = "cache_open"  # a residency starts filling
+    CACHE_LAST_SERVICE = "cache_last_service"  # the residency's final reader starts
+    CACHE_RELEASE = "cache_release"  # the last block is dropped
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One timestamped simulation event.
+
+    Ordering is by (time, seq); ``seq`` is assigned by the queue so equal-time
+    events pop in insertion order.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise SimulationError(f"event time must be finite, got {self.time}")
+
+
+class EventQueue:
+    """Deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        ev = Event(time, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> float:
+        if not self._heap:
+            raise SimulationError("empty event queue has no next_time")
+        return self._heap[0].time
+
+    def drain(self) -> list[Event]:
+        """Pop everything, returning the chronological trace."""
+        out = []
+        while self._heap:
+            out.append(heapq.heappop(self._heap))
+        return out

@@ -1,0 +1,209 @@
+"""Feasibility validation of service schedules.
+
+``validate_schedule`` exercises a schedule end-to-end against the request
+batch it is supposed to serve and returns a list of :class:`Violation`
+records (empty = feasible):
+
+* **coverage** -- every request is served by exactly one delivery at its
+  start time, ending at the user's local storage;
+* **causality** -- every delivery from a non-warehouse source is backed by a
+  residency there whose caching started no later than the service and whose
+  last-service time covers it; every residency's filling source is a node
+  that plausibly streamed the file (warehouse, or a node with an earlier or
+  simultaneous copy);
+* **storage capacity** -- the Eq. 6 reserved usage stays within capacity at
+  every storage (the scheduler's own model);
+* **link bandwidth** -- concurrent streams on a link stay within its
+  bandwidth, when finite (the base paper leaves links uncapacitated; the
+  bandwidth extension uses this check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costmodel import CostModel
+from repro.core.schedule import Schedule
+from repro.core.spacefunc import EPS
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.workload.requests import RequestBatch
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One feasibility violation found in a schedule."""
+
+    kind: str  # "coverage" | "causality" | "capacity" | "bandwidth"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.message}"
+
+
+def validate_schedule(
+    schedule: Schedule,
+    batch: RequestBatch,
+    cost_model: CostModel,
+    *,
+    check_links: bool = True,
+    trusted_residencies=(),
+) -> list[Violation]:
+    """Run every feasibility check; return all violations found.
+
+    ``trusted_residencies`` marks residencies whose *filling* happened
+    outside this schedule -- e.g. caches carried over from the previous
+    scheduling cycle, whose feeder streams belong to that cycle's schedule.
+    They are exempt from the feeder-causality check (matched on
+    ``(video_id, location, t_start)``); everything else about them is still
+    validated.
+    """
+    violations: list[Violation] = []
+    violations.extend(_check_coverage(schedule, batch))
+    violations.extend(
+        _check_causality(schedule, cost_model, trusted_residencies)
+    )
+    violations.extend(_check_capacity(schedule, cost_model))
+    if check_links:
+        violations.extend(_check_links(schedule, cost_model))
+    return violations
+
+
+def assert_valid(
+    schedule: Schedule,
+    batch: RequestBatch,
+    cost_model: CostModel,
+    *,
+    check_links: bool = True,
+    trusted_residencies=(),
+) -> None:
+    """Raise :class:`~repro.errors.SimulationError` on the first violation."""
+    violations = validate_schedule(
+        schedule,
+        batch,
+        cost_model,
+        check_links=check_links,
+        trusted_residencies=trusted_residencies,
+    )
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise SimulationError(f"infeasible schedule: {summary}{more}")
+
+
+def _check_coverage(schedule: Schedule, batch: RequestBatch) -> list[Violation]:
+    out: list[Violation] = []
+    deliveries_by_user: dict[tuple[str, str, float], int] = {}
+    for d in schedule.deliveries:
+        key = (d.request.user_id, d.video_id, d.start_time)
+        deliveries_by_user[key] = deliveries_by_user.get(key, 0) + 1
+    for r in batch:
+        key = (r.user_id, r.video_id, r.start_time)
+        n = deliveries_by_user.get(key, 0)
+        if n == 0:
+            out.append(
+                Violation(
+                    "coverage",
+                    f"request {r.user_id}/{r.video_id}@{r.start_time:g} unserved",
+                )
+            )
+        elif n > 1:
+            out.append(
+                Violation(
+                    "coverage",
+                    f"request {r.user_id}/{r.video_id}@{r.start_time:g} served "
+                    f"{n} times",
+                )
+            )
+    return out
+
+
+def _check_causality(
+    schedule: Schedule, cost_model: CostModel, trusted_residencies=()
+) -> list[Violation]:
+    out: list[Violation] = []
+    topo = cost_model.topology
+    warehouses = {w.name for w in topo.warehouses}
+    trusted = {
+        (c.video_id, c.location, c.t_start) for c in trusted_residencies
+    }
+    for fs in schedule:
+        residencies = fs.residencies
+        for d in fs.deliveries:
+            src = d.source
+            if src in warehouses:
+                continue
+            backing = [
+                c
+                for c in residencies
+                if c.location == src
+                and c.t_start <= d.start_time + EPS
+                and c.t_last >= d.start_time - EPS
+            ]
+            if not backing:
+                out.append(
+                    Violation(
+                        "causality",
+                        f"delivery of {d.video_id} from {src}@{d.start_time:g} "
+                        "has no backing residency",
+                    )
+                )
+        for c in residencies:
+            if c.source in warehouses:
+                continue
+            if (c.video_id, c.location, c.t_start) in trusted:
+                continue  # filled by a previous cycle's stream
+            feeder = [
+                d
+                for d in fs.deliveries
+                if d.source == c.source and d.start_time <= c.t_start + EPS
+            ] + [
+                c2
+                for c2 in residencies
+                if c2.location == c.source and c2.t_start <= c.t_start + EPS
+            ]
+            if not feeder:
+                out.append(
+                    Violation(
+                        "causality",
+                        f"residency of {c.video_id} at {c.location} sources from "
+                        f"{c.source} with no copy there by t={c.t_start:g}",
+                    )
+                )
+    return out
+
+
+def _check_capacity(schedule: Schedule, cost_model: CostModel) -> list[Violation]:
+    out: list[Violation] = []
+    report = SimulationEngine(cost_model).run(schedule)
+    for loc, load in report.storages.items():
+        slack = load.capacity + EPS + 1e-9 * max(load.capacity, 1.0)
+        if load.reserved_peak > slack:
+            intervals = load.reserved.intervals_above(load.capacity)
+            out.append(
+                Violation(
+                    "capacity",
+                    f"{loc}: reserved usage peaks at {load.reserved_peak:g} > "
+                    f"capacity {load.capacity:g} over {len(intervals)} "
+                    "interval(s)",
+                )
+            )
+    return out
+
+
+def _check_links(schedule: Schedule, cost_model: CostModel) -> list[Violation]:
+    out: list[Violation] = []
+    report = SimulationEngine(cost_model).run(schedule)
+    for key, load in report.links.items():
+        if load.capacity == float("inf"):
+            continue
+        slack = load.capacity * (1.0 + 1e-9) + EPS
+        if load.peak > slack:
+            out.append(
+                Violation(
+                    "bandwidth",
+                    f"link {key}: concurrent bandwidth peaks at {load.peak:g} "
+                    f"> capacity {load.capacity:g}",
+                )
+            )
+    return out

@@ -1,0 +1,52 @@
+"""Structural validation of topologies before scheduling.
+
+The scheduler assumes (a) there is at least one warehouse, (b) every storage
+is reachable from some warehouse, and (c) all rates are finite and
+non-negative.  :func:`validate_topology` checks these up front so scheduling
+failures surface as clear configuration errors rather than mid-run routing
+exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+from repro.topology.routing import Router
+
+
+def validate_topology(topology: Topology) -> None:
+    """Raise :class:`~repro.errors.TopologyError` if ``topology`` is unusable.
+
+    Checks:
+        * at least one warehouse and at least one storage node exist;
+        * every node is reachable from every warehouse (single component);
+        * all edge rates, storage rates and capacities are finite;
+        * no storage has non-positive capacity.
+    """
+    warehouses = topology.warehouses
+    if not warehouses:
+        raise TopologyError("topology has no warehouse")
+    if not topology.storages:
+        raise TopologyError("topology has no intermediate storage")
+
+    for edge in topology.edges:
+        if not math.isfinite(edge.nrate):
+            raise TopologyError(f"edge {edge.key} has non-finite nrate {edge.nrate}")
+
+    for spec in topology.storages:
+        if not math.isfinite(spec.srate):
+            raise TopologyError(f"storage {spec.name!r} has non-finite srate")
+        if spec.capacity <= 0:
+            raise TopologyError(f"storage {spec.name!r} has non-positive capacity")
+
+    router = Router(topology)
+    all_nodes = set(topology.node_names)
+    for wh in warehouses:
+        reachable = router.reachable(wh.name)
+        missing = all_nodes - reachable
+        if missing:
+            raise TopologyError(
+                f"nodes unreachable from warehouse {wh.name!r}: {sorted(missing)}"
+            )

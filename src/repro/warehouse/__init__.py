@@ -1,0 +1,33 @@
+"""Hierarchical storage inside the video warehouse.
+
+The paper treats the warehouse as an infinite free archive, but its related
+work (Doganata & Tantawi; Kienzle & Sitaram; the authors' own hierarchical
+storage VOD papers [13-15]) makes clear the archive is really a **tape
+library plus a disk staging area**: a title must be staged to disk before it
+can stream, staging occupies one of a few tape drives for the transfer
+duration, and the disk stage has finite capacity.
+
+Because VOR workloads are known offline, the warehouse can plan staging
+offline too: :class:`~repro.warehouse.staging.StagingPlanner` schedules tape
+reads earliest-deadline-first across the drives and evicts disk-stage
+content with Belady's offline-optimal next-use rule, reporting any *misses*
+(streams whose title cannot be on disk in time) and the full disk/drive
+utilization timelines.
+
+This subpackage is an extension substrate: the core scheduler is unchanged;
+the planner consumes its output schedule.
+"""
+
+from repro.warehouse.hierarchy import WarehouseSpec
+from repro.warehouse.staging import (
+    StagingPlanner,
+    StagingReport,
+    StagingTask,
+)
+
+__all__ = [
+    "WarehouseSpec",
+    "StagingPlanner",
+    "StagingReport",
+    "StagingTask",
+]

@@ -1,0 +1,56 @@
+"""Warehouse hardware description: tape library + disk staging area.
+
+Modeled after the two-stage hierarchies the paper's related work describes
+(Doganata & Tantawi '94; Kienzle & Sitaram '94): every title lives
+permanently on tape; a title must be *staged* onto the disk area before it
+can stream out to the network; stagings occupy one of a small number of
+tape drives for ``seek + size/bandwidth`` seconds; the disk area has finite
+capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro import units
+
+
+@dataclass(frozen=True)
+class WarehouseSpec:
+    """Hierarchical-storage parameters of the video warehouse.
+
+    Attributes:
+        disk_capacity: Bytes of disk staging area.
+        tape_drives: Number of tape drives (concurrent stagings).
+        tape_bandwidth: Sustained tape transfer rate, bytes/s.
+        tape_seek: Fixed per-staging positioning overhead, seconds
+            (robot exchange + locate).
+    """
+
+    disk_capacity: float = 100.0 * units.GB
+    tape_drives: int = 4
+    tape_bandwidth: float = 30.0 * units.MB  # 30 MB/s, mid-90s DLT-class
+    tape_seek: float = 90.0
+
+    def __post_init__(self) -> None:
+        if not (self.disk_capacity > 0 and math.isfinite(self.disk_capacity)):
+            raise ConfigError(
+                f"disk_capacity must be positive and finite, got "
+                f"{self.disk_capacity}"
+            )
+        if self.tape_drives < 1:
+            raise ConfigError(f"tape_drives must be >= 1, got {self.tape_drives}")
+        if self.tape_bandwidth <= 0:
+            raise ConfigError(
+                f"tape_bandwidth must be positive, got {self.tape_bandwidth}"
+            )
+        if self.tape_seek < 0:
+            raise ConfigError(f"tape_seek must be >= 0, got {self.tape_seek}")
+
+    def staging_duration(self, size: float) -> float:
+        """Seconds a tape drive is busy staging a ``size``-byte title."""
+        if size <= 0:
+            raise ConfigError(f"size must be positive, got {size}")
+        return self.tape_seek + size / self.tape_bandwidth

@@ -1,0 +1,32 @@
+"""VOR workload substrate: users, neighborhoods, and reservation requests.
+
+A Video-On-Reservation request is ``(user_id, video_id, starting_time)``
+(paper Sec. 2.1); users sit in neighborhoods, each served by a *local*
+intermediate storage.  Popularity follows a Zipf law -- Dan & Sitaram's
+``alpha = 0.271`` fits commercial video-rental patterns (paper Sec. 5.4) --
+and start times are drawn from a pluggable arrival process over the
+scheduling cycle.
+"""
+
+from repro.workload.zipf import ZipfPopularity
+from repro.workload.churn import RankChurn
+from repro.workload.requests import Request, RequestBatch
+from repro.workload.arrival import (
+    ArrivalProcess,
+    PeakHourArrivals,
+    SlottedArrivals,
+    UniformArrivals,
+)
+from repro.workload.generators import WorkloadGenerator
+
+__all__ = [
+    "ZipfPopularity",
+    "RankChurn",
+    "Request",
+    "RequestBatch",
+    "ArrivalProcess",
+    "PeakHourArrivals",
+    "SlottedArrivals",
+    "UniformArrivals",
+    "WorkloadGenerator",
+]

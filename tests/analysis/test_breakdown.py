@@ -1,0 +1,98 @@
+"""Tests for the cost breakdown analytics."""
+
+import math
+
+import pytest
+
+from repro import (
+    ChargingBasis,
+    CostModel,
+    VideoScheduler,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.analysis import (
+    breakdown_report,
+    cost_by_link,
+    cost_by_storage,
+    cost_by_title,
+)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(8),
+    )
+    catalog = paper_catalog(60, seed=41)
+    batch = WorkloadGenerator(
+        topo, catalog, alpha=0.271, users_per_neighborhood=5
+    ).generate(seed=41)
+    result = VideoScheduler(topo, catalog).solve(batch)
+    return result, CostModel(topo, catalog)
+
+
+class TestBreakdowns:
+    def test_storage_breakdown_sums_to_storage_cost(self, solved):
+        result, cm = solved
+        by_storage = cost_by_storage(result.schedule, cm)
+        assert math.fsum(by_storage.values()) == pytest.approx(
+            result.cost.storage
+        )
+        assert all(v > 0 for v in by_storage.values())
+
+    def test_link_breakdown_sums_to_network_cost(self, solved):
+        result, cm = solved
+        by_link = cost_by_link(result.schedule, cm)
+        assert math.fsum(by_link.values()) == pytest.approx(
+            result.cost.network
+        )
+
+    def test_title_breakdown_sums_to_total(self, solved):
+        result, cm = solved
+        by_title = cost_by_title(result.schedule, cm)
+        total = math.fsum(n + s for n, s in by_title.values())
+        assert total == pytest.approx(result.total_cost)
+
+    def test_link_keys_are_canonical_edges(self, solved):
+        result, cm = solved
+        for (a, b) in cost_by_link(result.schedule, cm):
+            assert a <= b
+            assert cm.topology.has_edge(a, b)
+
+    def test_report_renders(self, solved):
+        result, cm = solved
+        out = breakdown_report(result.schedule, cm, top=5)
+        assert "spend by storage" in out
+        assert "spend by link" in out
+        assert "spend by title" in out
+
+    def test_end_to_end_deliveries_bucketed(self):
+        from repro import (
+            Request,
+            RequestBatch,
+            Topology,
+            VideoCatalog,
+            VideoFile,
+        )
+
+        topo = Topology(charging_basis=ChargingBasis.END_TO_END)
+        topo.add_warehouse("VW")
+        topo.add_storage("IS1", srate=0.0, capacity=1e12)
+        topo.add_storage("IS2", srate=0.0, capacity=1e12)
+        topo.add_edge("VW", "IS1", nrate=1.0)
+        topo.add_edge("IS1", "IS2", nrate=1.0)
+        topo.set_pair_rate("VW", "IS2", 0.5)
+        catalog = VideoCatalog([VideoFile("v", size=100.0, playback=10.0)])
+        batch = RequestBatch([Request(0.0, "v", "u1", "IS2")])
+        result = VideoScheduler(topo, catalog).solve(batch)
+        cm = CostModel(topo, catalog)
+        by_link = cost_by_link(result.schedule, cm)
+        assert ("<end-to-end>", "<pairs>") in by_link
+        assert math.fsum(by_link.values()) == pytest.approx(
+            result.cost.network
+        )

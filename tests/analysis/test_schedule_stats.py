@@ -1,0 +1,71 @@
+"""Tests for schedule statistics."""
+
+import pytest
+
+from repro import (
+    Request,
+    RequestBatch,
+    Schedule,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    chain_topology,
+)
+from repro.analysis import schedule_stats
+
+
+@pytest.fixture
+def env():
+    topo = chain_topology(2, nrate=1.0, srate=1e-4, capacity=1e12)
+    catalog = VideoCatalog([VideoFile("v", size=100.0, playback=10.0)])
+    return topo, catalog
+
+
+class TestScheduleStats:
+    def test_counts_for_known_schedule(self, env):
+        topo, catalog = env
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS2"),   # VW -> IS1 -> IS2
+                Request(20.0, "v", "u2", "IS2"),  # local cache
+                Request(30.0, "v", "u3", "IS1"),  # IS1 cache, local
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        stats = schedule_stats(result.schedule, catalog)
+        assert stats.n_deliveries == 3
+        assert stats.from_warehouse == 1
+        assert stats.from_cache == 2
+        assert stats.local_services == 2
+        assert stats.mean_hops == pytest.approx(2 / 3)
+        assert stats.network_bytes == pytest.approx(100.0)
+        assert stats.cache_hit_ratio == pytest.approx(2 / 3)
+        assert stats.residencies == 2
+        assert stats.mean_services_per_residency == pytest.approx(1.0)
+
+    def test_relay_counted(self, env):
+        topo, catalog = env
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS1"),
+                Request(0.0, "v", "u2", "IS1"),
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        stats = schedule_stats(result.schedule, catalog)
+        assert stats.relays == 1
+
+    def test_empty_schedule(self, env):
+        _, catalog = env
+        stats = schedule_stats(Schedule(), catalog)
+        assert stats.n_deliveries == 0
+        assert stats.cache_hit_ratio == 0.0
+        assert stats.mean_hops == 0.0
+
+    def test_table_renders(self, env):
+        topo, catalog = env
+        batch = RequestBatch([Request(0.0, "v", "u1", "IS1")])
+        result = VideoScheduler(topo, catalog).solve(batch)
+        out = schedule_stats(result.schedule, catalog).as_table()
+        assert "schedule statistics" in out
+        assert "cache service share" in out

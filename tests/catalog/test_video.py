@@ -1,0 +1,51 @@
+"""Tests for the VideoFile model."""
+
+import pytest
+
+from repro import VideoFile, units
+from repro.errors import CatalogError
+
+
+class TestVideoFile:
+    def test_default_bandwidth_is_playback_rate(self):
+        v = VideoFile("v", size=units.gb(2.7), playback=units.minutes(90))
+        assert v.bandwidth == pytest.approx(units.gb(2.7) / units.minutes(90))
+        assert v.network_volume == pytest.approx(v.size)
+
+    def test_explicit_bandwidth_decouples_volumes(self):
+        v = VideoFile(
+            "v",
+            size=units.gb(2.5),
+            playback=units.minutes(90),
+            bandwidth=units.mbps(6),
+        )
+        # the paper's Fig. 2 file: storage sees 2.5 GB, network 4.05 GB
+        assert v.size == 2.5e9
+        assert v.network_volume == pytest.approx(4.05e9)
+
+    def test_immutable(self):
+        v = VideoFile("v", size=1.0, playback=1.0)
+        with pytest.raises(AttributeError):
+            v.size = 2.0
+
+    @pytest.mark.parametrize("bad_size", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_size(self, bad_size):
+        with pytest.raises(CatalogError):
+            VideoFile("v", size=bad_size, playback=1.0)
+
+    @pytest.mark.parametrize("bad_play", [0.0, -5.0, float("nan")])
+    def test_invalid_playback(self, bad_play):
+        with pytest.raises(CatalogError):
+            VideoFile("v", size=1.0, playback=bad_play)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(CatalogError):
+            VideoFile("v", size=1.0, playback=1.0, bandwidth=-1.0)
+
+    def test_empty_id(self):
+        with pytest.raises(CatalogError):
+            VideoFile("", size=1.0, playback=1.0)
+
+    def test_repr_human_readable(self):
+        v = VideoFile("v", size=units.gb(2.5), playback=units.minutes(90))
+        assert "2.5 GB" in repr(v) and "1.5 h" in repr(v)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+The ``fig2_*`` fixtures reproduce the paper's Sec. 3.2 worked example: a
+``VW -- IS1 -- IS2`` chain, one 90-minute / 2.5 GB / 6 Mbps movie, and three
+users requesting it at 1:00 pm (IS1), 2:30 pm and 4:00 pm (both IS2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Request,
+    RequestBatch,
+    VideoCatalog,
+    VideoFile,
+    units,
+    worked_example_topology,
+)
+
+ONE_PM = 13 * units.HOUR
+TWO_THIRTY_PM = 14.5 * units.HOUR
+FOUR_PM = 16 * units.HOUR
+
+
+@pytest.fixture
+def fig2_topology():
+    return worked_example_topology()
+
+
+@pytest.fixture
+def fig2_video():
+    return VideoFile(
+        "movie",
+        size=units.gb(2.5),
+        playback=units.minutes(90),
+        bandwidth=units.mbps(6),
+    )
+
+
+@pytest.fixture
+def fig2_catalog(fig2_video):
+    return VideoCatalog([fig2_video])
+
+
+@pytest.fixture
+def fig2_batch():
+    return RequestBatch(
+        [
+            Request(ONE_PM, "movie", "U1", "IS1"),
+            Request(TWO_THIRTY_PM, "movie", "U2", "IS2"),
+            Request(FOUR_PM, "movie", "U3", "IS2"),
+        ]
+    )

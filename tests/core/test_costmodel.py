@@ -1,0 +1,212 @@
+"""Tests for the cost model Ψ (Eqs. 1-4), anchored on the paper's Fig. 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ChargingBasis,
+    CostModel,
+    DeliveryInfo,
+    FileSchedule,
+    Request,
+    ResidencyInfo,
+    Schedule,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    units,
+)
+from repro.errors import ScheduleError
+from tests.conftest import FOUR_PM, ONE_PM, TWO_THIRTY_PM
+
+
+@pytest.fixture
+def fig2_cm(fig2_topology, fig2_catalog):
+    return CostModel(fig2_topology, fig2_catalog)
+
+
+def _fig2_delivery(route, t, user):
+    return DeliveryInfo(
+        "movie", tuple(route), t, Request(t, "movie", user, route[-1])
+    )
+
+
+def fig2_schedule_s1():
+    """Paper's S1: all three users served directly from the warehouse."""
+    fs = FileSchedule("movie")
+    fs.add_delivery(_fig2_delivery(("VW", "IS1"), ONE_PM, "U1"))
+    fs.add_delivery(_fig2_delivery(("VW", "IS1", "IS2"), TWO_THIRTY_PM, "U2"))
+    fs.add_delivery(_fig2_delivery(("VW", "IS1", "IS2"), FOUR_PM, "U3"))
+    return Schedule([fs])
+
+
+def fig2_schedule_s2():
+    """Paper's S2: U1 from VW; IS1 caches; U2/U3 served from IS1's copy."""
+    fs = FileSchedule("movie")
+    fs.add_delivery(_fig2_delivery(("VW", "IS1"), ONE_PM, "U1"))
+    fs.add_delivery(_fig2_delivery(("IS1", "IS2"), TWO_THIRTY_PM, "U2"))
+    fs.add_delivery(_fig2_delivery(("IS1", "IS2"), FOUR_PM, "U3"))
+    fs.add_residency(
+        ResidencyInfo("movie", "IS1", "VW", ONE_PM, FOUR_PM, ("U2", "U3"))
+    )
+    return Schedule([fs])
+
+
+class TestFig2WorkedExample:
+    """The paper's hand-computed costs: Ψ(S1)=$259.20, Ψ(S2)=$138.975."""
+
+    def test_psi_s1(self, fig2_cm):
+        assert fig2_cm.total(fig2_schedule_s1()) == pytest.approx(259.2)
+
+    def test_psi_s1_is_pure_network(self, fig2_cm):
+        b = fig2_cm.schedule_cost(fig2_schedule_s1())
+        assert b.storage == 0.0
+        assert b.network == pytest.approx(259.2)
+
+    def test_psi_s2(self, fig2_cm):
+        assert fig2_cm.total(fig2_schedule_s2()) == pytest.approx(138.975)
+
+    def test_psi_s2_breakdown(self, fig2_cm):
+        b = fig2_cm.schedule_cost(fig2_schedule_s2())
+        assert b.network == pytest.approx(129.6)
+        assert b.storage == pytest.approx(9.375)
+
+    def test_s2_cheaper_than_s1(self, fig2_cm):
+        assert fig2_cm.total(fig2_schedule_s2()) < fig2_cm.total(fig2_schedule_s1())
+
+
+class TestResidencyCost:
+    @pytest.fixture
+    def cm(self):
+        topo = Topology()
+        topo.add_warehouse("VW")
+        topo.add_storage("IS1", srate=2.0, capacity=1e9)
+        topo.add_edge("VW", "IS1", nrate=0.0)
+        catalog = VideoCatalog([VideoFile("v", size=10.0, playback=4.0)])
+        return CostModel(topo, catalog)
+
+    def test_long_residency_eq2(self, cm):
+        # srate * size * ((tf-ts) + P/2) = 2 * 10 * (8 + 2) = 200
+        c = ResidencyInfo("v", "IS1", "VW", 0.0, 8.0)
+        assert cm.residency_cost(c) == pytest.approx(200.0)
+
+    def test_short_residency_eq3(self, cm):
+        # gamma = 2/4; 2 * 10 * 0.5 * (2 + 2) = 40
+        c = ResidencyInfo("v", "IS1", "VW", 0.0, 2.0)
+        assert cm.residency_cost(c) == pytest.approx(40.0)
+
+    def test_zero_extent_costs_nothing(self, cm):
+        c = ResidencyInfo("v", "IS1", "VW", 3.0, 3.0)
+        assert cm.residency_cost(c) == 0.0
+
+    def test_warehouse_residency_free(self, cm):
+        # srate(VW) = 0 per the paper
+        c = ResidencyInfo("v", "VW", "IS1", 0.0, 100.0)
+        assert cm.residency_cost(c) == 0.0
+
+    def test_cost_equals_profile_integral(self, cm):
+        video = cm.catalog["v"]
+        c = ResidencyInfo("v", "IS1", "VW", 1.0, 9.5)
+        srate = cm.topology.srate("IS1")
+        assert cm.residency_cost(c) == pytest.approx(srate * c.profile(video).integral())
+
+    def test_residency_cost_for_matches(self, cm):
+        c = ResidencyInfo("v", "IS1", "VW", 0.0, 8.0)
+        assert cm.residency_cost_for("v", "IS1", 0.0, 8.0) == pytest.approx(
+            cm.residency_cost(c)
+        )
+
+    def test_residency_cost_for_rejects_reversed(self, cm):
+        with pytest.raises(ScheduleError):
+            cm.residency_cost_for("v", "IS1", 8.0, 0.0)
+
+
+class TestDeliveryCost:
+    @pytest.fixture
+    def cm(self):
+        topo = Topology()
+        topo.add_warehouse("VW")
+        topo.add_storage("IS1", srate=0.0, capacity=1e9)
+        topo.add_storage("IS2", srate=0.0, capacity=1e9)
+        topo.add_edge("VW", "IS1", nrate=3.0)
+        topo.add_edge("IS1", "IS2", nrate=2.0)
+        catalog = VideoCatalog([VideoFile("v", size=10.0, playback=5.0)])
+        return CostModel(topo, catalog)
+
+    def test_per_hop_sum(self, cm):
+        d = DeliveryInfo(
+            "v", ("VW", "IS1", "IS2"), 0.0, Request(0.0, "v", "u", "IS2")
+        )
+        # volume = size = 10 (bandwidth defaults to playback rate)
+        assert cm.delivery_cost(d) == pytest.approx(10.0 * 5.0)
+
+    def test_local_service_free(self, cm):
+        d = DeliveryInfo("v", ("IS2",), 0.0, Request(0.0, "v", "u", "IS2"))
+        assert cm.delivery_cost(d) == 0.0
+
+    def test_end_to_end_explicit_rate(self, cm):
+        cm.topology.charging_basis = ChargingBasis.END_TO_END
+        cm.topology.set_pair_rate("VW", "IS2", 1.0)
+        d = DeliveryInfo(
+            "v", ("VW", "IS1", "IS2"), 0.0, Request(0.0, "v", "u", "IS2")
+        )
+        assert cm.delivery_cost(d) == pytest.approx(10.0)
+
+    def test_end_to_end_fallback_to_hops(self, cm):
+        cm.topology.charging_basis = ChargingBasis.END_TO_END
+        d = DeliveryInfo(
+            "v", ("VW", "IS1", "IS2"), 0.0, Request(0.0, "v", "u", "IS2")
+        )
+        assert cm.delivery_cost(d) == pytest.approx(50.0)
+
+    def test_network_volume_uses_bandwidth(self):
+        topo = Topology()
+        topo.add_warehouse("VW")
+        topo.add_storage("IS1", srate=0.0, capacity=1e9)
+        topo.add_edge("VW", "IS1", nrate=1.0)
+        video = VideoFile("v", size=10.0, playback=5.0, bandwidth=4.0)
+        cm = CostModel(topo, VideoCatalog([video]))
+        d = DeliveryInfo("v", ("VW", "IS1"), 0.0, Request(0.0, "v", "u", "IS1"))
+        assert cm.delivery_cost(d) == pytest.approx(20.0)  # P*B = 20, not size
+
+
+class TestAggregation:
+    def test_schedule_cost_is_sum_of_file_costs(self, fig2_cm):
+        s2 = fig2_schedule_s2()
+        per_file = sum(fig2_cm.file_cost(fs).total for fs in s2)
+        assert fig2_cm.total(s2) == pytest.approx(per_file)
+
+    def test_breakdown_addition(self):
+        from repro import CostBreakdown
+
+        a = CostBreakdown(1.0, 2.0)
+        b = CostBreakdown(0.5, 0.25)
+        c = a + b
+        assert (c.storage, c.network, c.total) == (1.5, 2.25, 3.75)
+
+    def test_empty_schedule_is_free(self, fig2_cm):
+        assert fig2_cm.total(Schedule()) == 0.0
+
+
+class TestCostModelProperties:
+    @given(
+        srate=st.floats(min_value=0.0, max_value=10.0),
+        size=st.floats(min_value=1.0, max_value=1e3),
+        playback=st.floats(min_value=1.0, max_value=100.0),
+        start=st.floats(min_value=0.0, max_value=1e3),
+        dur=st.floats(min_value=0.0, max_value=1e3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_residency_cost_nonnegative_and_monotone_in_duration(
+        self, srate, size, playback, start, dur
+    ):
+        topo = Topology()
+        topo.add_warehouse("VW")
+        topo.add_storage("IS1", srate=srate, capacity=1e12)
+        topo.add_edge("VW", "IS1", nrate=0.0)
+        cm = CostModel(topo, VideoCatalog([VideoFile("v", size=size, playback=playback)]))
+        c1 = cm.residency_cost_for("v", "IS1", start, start + dur)
+        c2 = cm.residency_cost_for("v", "IS1", start, start + dur * 1.5 + 1.0)
+        assert c1 >= 0.0
+        assert c2 >= c1

@@ -1,0 +1,114 @@
+"""Tests for the four heat metrics (Eqs. 8-11)."""
+
+import math
+
+import pytest
+
+from repro import HeatMetric, ResidencyInfo, VideoFile
+from repro.core.heat import compute_heat, improved_period, space_time_improvement
+from repro.core.overflow import OverflowSituation
+from repro.errors import ScheduleError
+
+
+def _overflow(t0, t1, location="IS1"):
+    return OverflowSituation(
+        location=location,
+        interval=(t0, t1),
+        members=(),
+        peak_usage=0.0,
+        capacity=0.0,
+        excess_spacetime=0.0,
+    )
+
+
+@pytest.fixture
+def video():
+    return VideoFile("v", size=100.0, playback=10.0)
+
+
+@pytest.fixture
+def residency():
+    # occupies [0, 30] at 100 then drains to 0 at 40
+    return ResidencyInfo("v", "IS1", "VW", 0.0, 30.0)
+
+
+class TestImprovedPeriod:
+    def test_residency_fully_covers_overflow(self, video, residency):
+        assert improved_period(residency, video, _overflow(5.0, 20.0)) == 15.0
+
+    def test_overflow_extends_past_drain_end(self, video, residency):
+        # improvement capped at t_f + P = 40
+        assert improved_period(residency, video, _overflow(35.0, 100.0)) == 5.0
+
+    def test_overflow_before_residency(self, video, residency):
+        later = ResidencyInfo("v", "IS1", "VW", 50.0, 60.0)
+        assert improved_period(later, video, _overflow(0.0, 20.0)) == 0.0
+
+    def test_mismatch_rejected(self, residency):
+        other = VideoFile("w", size=1.0, playback=1.0)
+        with pytest.raises(ScheduleError):
+            improved_period(residency, other, _overflow(0.0, 1.0))
+
+
+class TestSpaceTimeImprovement:
+    def test_flat_region(self, video, residency):
+        assert space_time_improvement(
+            residency, video, _overflow(5.0, 25.0)
+        ) == pytest.approx(2000.0)
+
+    def test_includes_drain(self, video, residency):
+        # [30, 40] drain triangle: 0.5 * 100 * 10 = 500
+        assert space_time_improvement(
+            residency, video, _overflow(30.0, 40.0)
+        ) == pytest.approx(500.0)
+
+    def test_zero_outside(self, video, residency):
+        assert space_time_improvement(residency, video, _overflow(50.0, 60.0)) == 0.0
+
+
+class TestComputeHeat:
+    def test_metric1_is_period(self, video, residency):
+        of = _overflow(5.0, 20.0)
+        assert compute_heat(HeatMetric.TIME, residency, video, of, 123.0) == 15.0
+
+    def test_metric3_is_spacetime(self, video, residency):
+        of = _overflow(5.0, 25.0)
+        assert compute_heat(
+            HeatMetric.SPACE_TIME, residency, video, of, 123.0
+        ) == pytest.approx(2000.0)
+
+    def test_metric2_divides_by_overhead(self, video, residency):
+        of = _overflow(5.0, 20.0)
+        assert compute_heat(
+            HeatMetric.TIME_PER_COST, residency, video, of, 3.0
+        ) == pytest.approx(5.0)
+
+    def test_metric4_divides_by_overhead(self, video, residency):
+        of = _overflow(5.0, 25.0)
+        assert compute_heat(
+            HeatMetric.SPACE_TIME_PER_COST, residency, video, of, 4.0
+        ) == pytest.approx(500.0)
+
+    @pytest.mark.parametrize(
+        "metric", [HeatMetric.TIME_PER_COST, HeatMetric.SPACE_TIME_PER_COST]
+    )
+    def test_free_reschedule_is_infinitely_hot(self, video, residency, metric):
+        of = _overflow(5.0, 20.0)
+        assert compute_heat(metric, residency, video, of, 0.0) == math.inf
+        assert compute_heat(metric, residency, video, of, -5.0) == math.inf
+
+    @pytest.mark.parametrize("metric", [HeatMetric.TIME, HeatMetric.SPACE_TIME])
+    def test_cost_free_metrics_ignore_overhead(self, video, residency, metric):
+        of = _overflow(5.0, 20.0)
+        a = compute_heat(metric, residency, video, of, 1.0)
+        b = compute_heat(metric, residency, video, of, 1e9)
+        assert a == b
+
+    def test_larger_overlap_hotter(self, video):
+        of = _overflow(0.0, 100.0)
+        small = ResidencyInfo("v", "IS1", "VW", 0.0, 5.0)
+        large = ResidencyInfo("v", "IS1", "VW", 0.0, 50.0)
+        for metric in HeatMetric:
+            h_small = compute_heat(metric, small, video, of, 10.0)
+            h_large = compute_heat(metric, large, video, of, 10.0)
+            assert h_large > h_small

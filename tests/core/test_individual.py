@@ -1,0 +1,201 @@
+"""Tests for the Phase-1 greedy (Individual Video Scheduling)."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    IndividualScheduler,
+    Request,
+    RequestBatch,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    chain_topology,
+    star_topology,
+    units,
+)
+from repro.errors import ScheduleError
+
+
+def _env(nrate=1.0, srate=0.0, n_storages=3, shape=chain_topology, playback=10.0):
+    topo = shape(n_storages, nrate=nrate, srate=srate, capacity=1e15)
+    catalog = VideoCatalog([VideoFile("v", size=100.0, playback=playback)])
+    return topo, catalog, CostModel(topo, catalog)
+
+
+class TestSingleRequest:
+    def test_served_from_warehouse(self):
+        _, catalog, cm = _env()
+        greedy = IndividualScheduler(cm)
+        fs = greedy.schedule_file(catalog["v"], [Request(0.0, "v", "u1", "IS2")])
+        assert len(fs.deliveries) == 1
+        d = fs.deliveries[0]
+        assert d.route == ("VW", "IS1", "IS2")
+        assert fs.residencies == []  # unused candidates pruned
+
+    def test_request_video_mismatch(self):
+        _, catalog, cm = _env()
+        greedy = IndividualScheduler(cm)
+        with pytest.raises(ScheduleError):
+            greedy.schedule_file(catalog["v"], [Request(0.0, "w", "u", "IS1")])
+
+
+class TestSharingViaCache:
+    def test_second_request_served_from_cache(self):
+        """Two same-place requests: second comes from the local cache."""
+        _, catalog, cm = _env(nrate=1.0, srate=1e-6)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(0.0, "v", "u1", "IS2"),
+            Request(5.0, "v", "u2", "IS2"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        assert fs.deliveries[0].route == ("VW", "IS1", "IS2")
+        assert fs.deliveries[1].route == ("IS2",)
+        assert len(fs.residencies) == 1
+        c = fs.residencies[0]
+        assert c.location == "IS2"
+        assert (c.t_start, c.t_last) == (0.0, 5.0)
+        assert c.service_list == ("u2",)
+
+    def test_expensive_storage_forces_direct_delivery(self):
+        """With storage dear and network cheap, repeat deliveries win."""
+        _, catalog, cm = _env(nrate=1e-9, srate=1e6)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(0.0, "v", "u1", "IS2"),
+            Request(5.0, "v", "u2", "IS2"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        assert all(d.route[0] == "VW" for d in fs.deliveries)
+        assert fs.residencies == []
+
+    def test_free_storage_always_caches(self):
+        _, catalog, cm = _env(nrate=1.0, srate=0.0)
+        greedy = IndividualScheduler(cm)
+        reqs = [Request(float(i) * 100.0, "v", f"u{i}", "IS3") for i in range(5)]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        # first from VW, rest from the local cache
+        assert fs.deliveries[0].route == ("VW", "IS1", "IS2", "IS3")
+        for d in fs.deliveries[1:]:
+            assert d.route == ("IS3",)
+
+    def test_midpath_cache_serves_other_neighborhood(self):
+        """A stream to IS3 deposits at IS2; later IS2 user is served locally."""
+        _, catalog, cm = _env(nrate=1.0, srate=0.0)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(0.0, "v", "u1", "IS3"),
+            Request(5.0, "v", "u2", "IS2"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        assert fs.deliveries[1].route == ("IS2",)
+        locs = {c.location for c in fs.residencies}
+        assert "IS2" in locs
+
+    def test_cache_not_used_before_created(self):
+        """A request before any stream exists must go to the warehouse."""
+        _, catalog, cm = _env(nrate=1.0, srate=0.0)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(10.0, "v", "u1", "IS1"),
+            Request(0.0, "v", "u2", "IS1"),  # earlier, listed later
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        first = min(fs.deliveries, key=lambda d: d.start_time)
+        assert first.route[0] == "VW"
+
+    def test_chronological_processing_regardless_of_input_order(self):
+        _, catalog, cm = _env(nrate=1.0, srate=0.0)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(50.0, "v", "late", "IS2"),
+            Request(0.0, "v", "early", "IS2"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        by_user = {d.request.user_id: d for d in fs.deliveries}
+        assert by_user["early"].route[0] == "VW"
+        assert by_user["late"].route == ("IS2",)
+
+
+class TestExtensionPricing:
+    def test_extension_cost_charged_incrementally(self):
+        """Serving 3 requests from one cache prices the full residency once."""
+        srate = 0.2
+        topo = chain_topology(1, nrate=5.0, srate=srate, capacity=1e15)
+        catalog = VideoCatalog([VideoFile("v", size=10.0, playback=4.0)])
+        cm = CostModel(topo, catalog)
+        greedy = IndividualScheduler(cm)
+        reqs = [
+            Request(0.0, "v", "u1", "IS1"),
+            Request(8.0, "v", "u2", "IS1"),
+            Request(16.0, "v", "u3", "IS1"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        cost = cm.file_cost(fs)
+        # one VW->IS1 transfer + residency [0,16]
+        assert cost.network == pytest.approx(10.0 * 5.0)
+        assert cost.storage == pytest.approx(srate * 10.0 * (16.0 + 2.0))
+
+    def test_greedy_chooses_cheaper_of_cache_vs_warehouse(self):
+        """When extension would cost more than a fresh VW transfer, go direct."""
+        srate = 10.0
+        topo = chain_topology(1, nrate=1.0, srate=srate, capacity=1e15)
+        catalog = VideoCatalog([VideoFile("v", size=10.0, playback=4.0)])
+        cm = CostModel(topo, catalog)
+        greedy = IndividualScheduler(cm)
+        # extension to t=100 costs ~ 10*10*100 >> VW transfer of 10
+        reqs = [
+            Request(0.0, "v", "u1", "IS1"),
+            Request(100.0, "v", "u2", "IS1"),
+        ]
+        fs = greedy.schedule_file(catalog["v"], reqs)
+        assert fs.deliveries[1].route == ("VW", "IS1")
+        assert fs.residencies == []
+
+
+class TestSolveBatch:
+    def test_partitions_by_video(self):
+        topo = star_topology(2, nrate=1.0, srate=0.0, capacity=1e15)
+        catalog = VideoCatalog(
+            [
+                VideoFile("a", size=10.0, playback=5.0),
+                VideoFile("b", size=20.0, playback=5.0),
+            ]
+        )
+        cm = CostModel(topo, catalog)
+        batch = RequestBatch(
+            [
+                Request(0.0, "a", "u1", "IS1"),
+                Request(1.0, "b", "u2", "IS2"),
+                Request(2.0, "a", "u3", "IS1"),
+            ]
+        )
+        schedule = IndividualScheduler(cm).solve(batch)
+        assert len(schedule) == 2
+        assert len(schedule.file("a").deliveries) == 2
+        assert len(schedule.file("b").deliveries) == 1
+
+    def test_every_request_served_exactly_once(self):
+        topo = star_topology(3, nrate=1.0, srate=0.0, capacity=1e15)
+        catalog = VideoCatalog([VideoFile("a", size=10.0, playback=5.0)])
+        cm = CostModel(topo, catalog)
+        reqs = [Request(float(i), "a", f"u{i}", f"IS{1 + i % 3}") for i in range(9)]
+        schedule = IndividualScheduler(cm).solve(RequestBatch(reqs))
+        served = sorted(d.request.user_id for d in schedule.deliveries)
+        assert served == sorted(f"u{i}" for i in range(9))
+
+
+class TestFig2Greedy:
+    def test_beats_papers_hand_schedule(
+        self, fig2_topology, fig2_catalog, fig2_batch
+    ):
+        """Our greedy finds a schedule at least as cheap as the paper's S2.
+
+        (It actually finds a cheaper one, $108.45, by also caching at IS2 --
+        the paper's example enumerates only two schedules.)
+        """
+        cm = CostModel(fig2_topology, fig2_catalog)
+        fs = IndividualScheduler(cm).solve(fig2_batch)
+        assert cm.total(fs) <= 138.975 + 1e-9
+        assert cm.total(fs) == pytest.approx(108.45)

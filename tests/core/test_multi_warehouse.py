@@ -1,0 +1,129 @@
+"""Tests for environments with more than one video warehouse.
+
+The paper's environment has a single VW, but the model (and our greedy)
+supports several: every warehouse holds everything permanently for free, so
+requests are served from the *cheapest* one.
+"""
+
+import pytest
+
+from repro import (
+    CostModel,
+    Request,
+    RequestBatch,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    detect_overflows,
+)
+from repro.errors import TopologyError
+from repro.sim import validate_schedule
+
+
+@pytest.fixture
+def two_warehouses():
+    """VW1 - IS1 - IS2 - VW2: each storage has a 'near' warehouse."""
+    t = Topology()
+    t.add_warehouse("VW1")
+    t.add_warehouse("VW2")
+    t.add_storage("IS1", srate=1e-3, capacity=1e12)
+    t.add_storage("IS2", srate=1e-3, capacity=1e12)
+    t.add_edge("VW1", "IS1", nrate=1.0)
+    t.add_edge("IS1", "IS2", nrate=1.0)
+    t.add_edge("IS2", "VW2", nrate=1.0)
+    return t
+
+
+@pytest.fixture
+def catalog():
+    return VideoCatalog(
+        [
+            VideoFile("v", size=100.0, playback=10.0),
+            VideoFile("w", size=100.0, playback=10.0),
+        ]
+    )
+
+
+class TestMultiWarehouse:
+    def test_each_request_uses_nearest_warehouse(self, two_warehouses, catalog):
+        # distinct videos, so no relay/cache sharing can beat the warehouses
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS1"),
+                Request(0.0, "w", "u2", "IS2"),
+            ]
+        )
+        result = VideoScheduler(two_warehouses, catalog).solve(batch)
+        sources = {
+            d.request.user_id: d.source for d in result.schedule.deliveries
+        }
+        assert sources["u1"] == "VW1"
+        assert sources["u2"] == "VW2"
+
+    def test_costs_reflect_shorter_paths(self, two_warehouses, catalog):
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS1"),
+                Request(0.0, "w", "u2", "IS2"),
+            ]
+        )
+        result = VideoScheduler(two_warehouses, catalog).solve(batch)
+        # both served over one hop: 2 x volume x 1.0
+        assert result.cost.network == pytest.approx(200.0)
+
+    def test_same_video_simultaneous_relays_through_midpath(
+        self, two_warehouses, catalog
+    ):
+        """Same title at the same instant: the second request relays off the
+        first stream at IS1 rather than opening a second warehouse stream
+        (equal network cost, cache preferred on ties)."""
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS1"),
+                Request(0.0, "v", "u2", "IS2"),
+            ]
+        )
+        result = VideoScheduler(two_warehouses, catalog).solve(batch)
+        sources = {
+            d.request.user_id: d.source for d in result.schedule.deliveries
+        }
+        assert sources["u2"] == "IS1"
+        assert result.cost.network == pytest.approx(200.0)
+
+    def test_schedule_validates(self, two_warehouses, catalog):
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS1"),
+                Request(20.0, "v", "u2", "IS2"),
+                Request(40.0, "v", "u3", "IS1"),
+            ]
+        )
+        result = VideoScheduler(two_warehouses, catalog).solve(batch)
+        cm = CostModel(two_warehouses, catalog)
+        assert validate_schedule(result.schedule, batch, cm) == []
+        assert detect_overflows(result.schedule, catalog, two_warehouses) == []
+
+    def test_warehouse_property_rejects_plural(self, two_warehouses):
+        with pytest.raises(TopologyError, match="exactly one"):
+            _ = two_warehouses.warehouse
+
+    def test_cache_still_beats_far_warehouse(self, catalog):
+        """With one far warehouse pair, a mid-chain cache wins."""
+        t = Topology()
+        t.add_warehouse("VW1")
+        t.add_storage("IS1", srate=1e-6, capacity=1e12)
+        t.add_storage("IS2", srate=1e-6, capacity=1e12)
+        t.add_storage("IS3", srate=1e-6, capacity=1e12)
+        t.add_warehouse("VW2")
+        for a, b in [("VW1", "IS1"), ("IS1", "IS2"), ("IS2", "IS3"), ("IS3", "VW2")]:
+            t.add_edge(a, b, nrate=1.0)
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS2"),
+                Request(20.0, "v", "u2", "IS2"),
+            ]
+        )
+        result = VideoScheduler(t, catalog).solve(batch)
+        by_user = {d.request.user_id: d for d in result.schedule.deliveries}
+        assert by_user["u2"].route == ("IS2",)

@@ -1,0 +1,76 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ablation_bandwidth,
+    ablation_deposit_scope,
+    ablation_heat_metrics,
+    quick_config,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quick_config())
+
+
+class TestDepositScope:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # deposit-scope differences show up when remote neighborhoods share
+        # transit storages, which needs some per-file request multiplicity
+        r = ExperimentRunner(quick_config(n_files=80, users_per_neighborhood=8))
+        return ablation_deposit_scope(r)
+
+    def test_route_wide_cheaper_in_phase1(self, result):
+        """More deposit options can only help the capacity-ignorant greedy.
+
+        (The final post-SORP ordering may flip under tight capacity --
+        richer caching packs storages harder; see bench_ablations.)
+        """
+        phase1 = {r.variant: r.extra["phase1 ($)"] for r in result.rows}
+        assert phase1["route"] <= phase1["destination"] * 1.001
+
+    def test_table(self, result):
+        out = result.as_table()
+        assert "route" in out and "destination" in out
+
+
+class TestHeatMetricsAblation:
+    def test_four_variants(self, runner):
+        result = ablation_heat_metrics(runner)
+        assert len(result.rows) == 4
+        assert all(r.total_cost > 0 for r in result.rows)
+
+    def test_table(self, runner):
+        out = ablation_heat_metrics(runner).as_table()
+        assert "method 4" in out
+
+
+class TestBandwidthAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        r = ExperimentRunner(quick_config())
+        return ablation_bandwidth(r, link_capacities_mbps=(6, 24, 96))
+
+    def test_rows(self, result):
+        assert len(result.rows) == 3
+
+    def test_tight_links_reject_or_divert_more(self, result):
+        tight, mid, loose = result.rows
+        assert tight.extra["rejected"] >= loose.extra["rejected"]
+        assert (
+            tight.extra["rejected"]
+            + tight.extra["diverted"]
+            >= loose.extra["rejected"] + loose.extra["diverted"]
+        )
+
+    def test_loose_links_admit_everything(self, result):
+        loose = result.rows[-1]
+        assert loose.extra["rejected"] == 0
+
+    def test_table(self, result):
+        out = result.as_table()
+        assert "Mbps/link" in out

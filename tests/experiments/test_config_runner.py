@@ -1,0 +1,90 @@
+"""Tests for experiment configuration and the runner."""
+
+import pytest
+
+from repro.core.heat import HeatMetric
+from repro.errors import ConfigError
+from repro.experiments import ExperimentRunner, paper_config, quick_config
+from repro import units
+
+
+class TestConfig:
+    def test_paper_defaults_match_table4(self):
+        cfg = paper_config()
+        assert cfg.n_files == 500
+        assert cfg.mean_file_size == pytest.approx(3.3 * units.GB)
+        assert cfg.users_per_neighborhood == 10
+        assert cfg.srate_axis == (3, 4, 5, 6, 7, 8)
+        assert cfg.capacity_axis == (5, 8, 11, 14)
+        assert cfg.nrate_axis == (300, 400, 500, 600, 700, 800, 900, 1000)
+        assert cfg.alpha_axis == (0.1, 0.271, 0.5, 0.7)
+
+    def test_quick_is_smaller(self):
+        q = quick_config()
+        p = paper_config()
+        assert q.n_files < p.n_files
+        assert q.users_per_neighborhood < p.users_per_neighborhood
+
+    def test_but_replaces(self):
+        cfg = paper_config().but(alpha=0.5, capacity_gb=11)
+        assert cfg.alpha == 0.5 and cfg.capacity_gb == 11
+        assert paper_config().alpha == 0.271
+
+    def test_unit_properties(self):
+        cfg = paper_config()
+        assert cfg.nrate == pytest.approx(units.per_gb(500))
+        assert cfg.srate == pytest.approx(units.per_gb_hour(5))
+        assert cfg.capacity == pytest.approx(units.gb(5))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(n_files=0),
+            dict(users_per_neighborhood=0),
+            dict(alpha=1.5),
+            dict(arrivals="bogus"),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ConfigError):
+            paper_config(**bad)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(quick_config())
+
+    def test_batch_memoised(self, runner):
+        assert runner.batch() is runner.batch()
+        assert runner.batch(alpha=0.5) is not runner.batch()
+
+    def test_batch_size(self, runner):
+        cfg = runner.config
+        assert len(runner.batch()) == 19 * cfg.users_per_neighborhood
+
+    def test_run_record_fields(self, runner):
+        rec = runner.run(nrate_per_gb=400, srate_per_gb_hour=4, capacity_gb=8)
+        assert rec.nrate_per_gb == 400
+        assert rec.srate_per_gb_hour == 4
+        assert rec.capacity_gb == 8
+        assert rec.total_cost == pytest.approx(
+            rec.storage_cost + rec.network_cost
+        )
+        assert rec.total_cost > 0
+        assert rec.n_requests == len(runner.batch())
+        assert rec.heat_metric is HeatMetric.SPACE_TIME_PER_COST
+
+    def test_run_deterministic(self, runner):
+        a = runner.run(nrate_per_gb=400)
+        b = runner.run(nrate_per_gb=400)
+        assert a.total_cost == b.total_cost
+
+    def test_network_only_upper_bounds_scheduler(self, runner):
+        rec = runner.run()
+        assert rec.total_cost <= runner.network_only() + 1e-6
+
+    def test_arrivals_variants(self):
+        for kind in ("uniform", "peak", "slotted"):
+            r = ExperimentRunner(quick_config(arrivals=kind))
+            assert len(r.batch()) > 0

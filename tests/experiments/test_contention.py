@@ -1,0 +1,36 @@
+"""Tests for the contention-sweep extension experiment."""
+
+import pytest
+
+from repro.experiments import contention_sweep, quick_config
+
+
+class TestContentionSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return contention_sweep(
+            quick_config(n_files=100), users_axis=(3, 12)
+        )
+
+    def test_points_recorded(self, sweep):
+        assert [p.users_per_neighborhood for p in sweep.points] == [3, 12]
+        assert sweep.points[0].n_requests == 19 * 3
+        assert sweep.points[1].n_requests == 19 * 12
+
+    def test_cost_grows_with_load(self, sweep):
+        assert sweep.points[1].total_cost > sweep.points[0].total_cost
+
+    def test_pressure_grows_with_load(self, sweep):
+        assert (
+            sweep.points[1].resolution_iterations
+            >= sweep.points[0].resolution_iterations
+        )
+        assert sweep.points[1].overflow_count >= sweep.points[0].overflow_count
+
+    def test_penalties_nonnegative(self, sweep):
+        assert all(p >= 0 for p in sweep.penalties())
+
+    def test_table(self, sweep):
+        out = sweep.as_table()
+        assert "contention sweep" in out
+        assert "penalty %" in out

@@ -1,0 +1,50 @@
+"""Tests for multi-seed averaging in the experiment harness."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, fig7, quick_config
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quick_config())
+
+
+class TestMeanTotalCost:
+    def test_single_seed_equals_run(self, runner):
+        a = runner.mean_total_cost([5], nrate_per_gb=400)
+        b = runner.run(seed=5, nrate_per_gb=400).total_cost
+        assert a == pytest.approx(b)
+
+    def test_mean_of_seeds(self, runner):
+        costs = [runner.run(seed=s, nrate_per_gb=400).total_cost for s in (1, 2, 3)]
+        mean = runner.mean_total_cost([1, 2, 3], nrate_per_gb=400)
+        assert mean == pytest.approx(sum(costs) / 3)
+
+    def test_empty_seeds_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.mean_total_cost([])
+        with pytest.raises(ValueError):
+            runner.mean_network_only([])
+
+    def test_network_only_mean(self, runner):
+        costs = [runner.network_only(seed=s) for s in (1, 2)]
+        assert runner.mean_network_only([1, 2]) == pytest.approx(
+            sum(costs) / 2
+        )
+
+
+class TestFigureSeeds:
+    def test_figure_shapes_hold_when_averaged(self, runner):
+        fig = fig7(runner, seeds=(1, 2, 3))
+        cached = fig.series_by_name("with intermediate storage")
+        base = fig.series_by_name("network only system")
+        assert cached.is_increasing()
+        assert base.dominates(cached)
+
+    def test_seeded_figure_differs_from_default(self, runner):
+        default = fig7(runner)
+        averaged = fig7(runner, seeds=(2, 3))
+        y0 = default.series_by_name("with intermediate storage").y[0]
+        y1 = averaged.series_by_name("with intermediate storage").y[0]
+        assert y0 != y1

@@ -1,0 +1,44 @@
+"""Exact reproduction of the paper's Sec. 3.2 hand-computed costs."""
+
+import pytest
+
+from repro.experiments import worked_example
+from repro.experiments.worked_example import (
+    WorkedExampleResult,
+    paper_schedule_s1,
+    paper_schedule_s2,
+)
+
+
+class TestWorkedExample:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return worked_example()
+
+    def test_psi_s1_exact(self, result):
+        assert result.psi_s1 == pytest.approx(259.2, abs=1e-9)
+        assert result.psi_s1 == pytest.approx(WorkedExampleResult.PAPER_S1)
+
+    def test_psi_s2_exact(self, result):
+        assert result.psi_s2 == pytest.approx(138.975, abs=1e-9)
+        assert result.psi_s2 == pytest.approx(WorkedExampleResult.PAPER_S2)
+
+    def test_scheduler_at_least_as_good_as_paper(self, result):
+        assert result.psi_greedy <= result.psi_s2 + 1e-9
+
+    def test_scheduler_finds_the_cheaper_double_cache_schedule(self, result):
+        assert result.psi_greedy == pytest.approx(108.45)
+
+    def test_table_mentions_values(self, result):
+        table = result.as_table()
+        assert "259.200" in table
+        assert "138.975" in table
+
+    def test_hand_schedules_structure(self):
+        s1 = paper_schedule_s1()
+        assert len(s1.deliveries) == 3
+        assert s1.residencies == []
+        s2 = paper_schedule_s2()
+        assert len(s2.deliveries) == 3
+        assert len(s2.residencies) == 1
+        assert s2.residencies[0].location == "IS1"

@@ -1,0 +1,60 @@
+"""Tests for the event queue primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.STREAM_END)
+        q.push(1.0, EventKind.STREAM_START)
+        q.push(3.0, EventKind.SERVICE_START)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_equal_times_preserve_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.STREAM_START, "a")
+        q.push(1.0, EventKind.STREAM_START, "b")
+        q.push(1.0, EventKind.STREAM_START, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, EventKind.CACHE_OPEN)
+        assert q and len(q) == 1
+
+    def test_next_time(self):
+        q = EventQueue()
+        q.push(7.0, EventKind.CACHE_OPEN)
+        q.push(2.0, EventKind.CACHE_OPEN)
+        assert q.next_time == 2.0
+
+    def test_empty_queue_errors(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+        with pytest.raises(SimulationError):
+            _ = q.next_time
+
+    def test_drain(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(t, EventKind.STREAM_START)
+        trace = q.drain()
+        assert [e.time for e in trace] == [1.0, 2.0, 3.0]
+        assert not q
+
+    def test_nonfinite_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(float("nan"), EventKind.STREAM_START)
+
+    def test_event_ordering_dataclass(self):
+        a = Event(1.0, 0, EventKind.STREAM_START)
+        b = Event(1.0, 1, EventKind.STREAM_END)
+        assert a < b

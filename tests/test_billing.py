@@ -1,0 +1,121 @@
+"""Tests for per-user cost allocation."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    Request,
+    RequestBatch,
+    ResidencyInfo,
+    FileSchedule,
+    Schedule,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    WorkloadGenerator,
+    chain_topology,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.billing import allocate_costs
+from repro.errors import ScheduleError
+
+
+@pytest.fixture
+def env():
+    topo = chain_topology(2, nrate=1.0, srate=1e-3, capacity=1e12)
+    catalog = VideoCatalog([VideoFile("v", size=100.0, playback=10.0)])
+    return topo, catalog, CostModel(topo, catalog)
+
+
+class TestAllocation:
+    def test_grand_total_equals_psi(self, env):
+        topo, catalog, cm = env
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS2"),
+                Request(20.0, "v", "u2", "IS2"),
+                Request(40.0, "v", "u3", "IS1"),
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        statement = allocate_costs(result.schedule, cm)
+        assert statement.grand_total == pytest.approx(result.total_cost)
+
+    def test_network_billed_to_served_user(self, env):
+        topo, catalog, cm = env
+        batch = RequestBatch([Request(0.0, "v", "u1", "IS2")])
+        result = VideoScheduler(topo, catalog).solve(batch)
+        statement = allocate_costs(result.schedule, cm)
+        invoice = statement.invoice("u1")
+        assert invoice.network == pytest.approx(result.cost.network)
+        assert invoice.services == 1
+
+    def test_storage_split_among_cache_consumers(self, env):
+        topo, catalog, cm = env
+        # u2 and u3 both consume the cache u1's stream seeded
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "u1", "IS2"),
+                Request(20.0, "v", "u2", "IS2"),
+                Request(30.0, "v", "u3", "IS2"),
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        statement = allocate_costs(result.schedule, cm)
+        s2 = statement.invoice("u2").storage
+        s3 = statement.invoice("u3").storage
+        assert s2 == pytest.approx(s3)
+        assert s2 > 0
+        # u1 paid network only (its stream seeded the cache for free)
+        assert statement.invoice("u1").storage == 0.0
+
+    def test_unconsumed_residency_is_overhead(self, env):
+        topo, catalog, cm = env
+        fs = FileSchedule("v")
+        fs.add_residency(ResidencyInfo("v", "IS1", "VW", 0.0, 30.0, ()))
+        statement = allocate_costs(Schedule([fs]), cm)
+        assert statement.invoices == {}
+        assert statement.overhead == pytest.approx(
+            cm.residency_cost(fs.residencies[0])
+        )
+        assert statement.grand_total == pytest.approx(cm.total(Schedule([fs])))
+
+    def test_missing_invoice_raises(self, env):
+        _, _, cm = env
+        statement = allocate_costs(Schedule(), cm)
+        with pytest.raises(ScheduleError):
+            statement.invoice("nobody")
+
+    def test_top_payers(self, env):
+        topo, catalog, cm = env
+        batch = RequestBatch(
+            [
+                Request(0.0, "v", "far", "IS2"),  # two hops
+                Request(100.0, "v", "near", "IS1"),  # one hop
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        statement = allocate_costs(result.schedule, cm)
+        top = statement.top_payers(1)
+        assert top[0].user_id == "far"
+
+    def test_paper_scale_allocation_exact(self):
+        topo = paper_topology(
+            nrate=units.per_gb(500),
+            srate=units.per_gb_hour(5),
+            capacity=units.gb(5),
+        )
+        catalog = paper_catalog(seed=13)
+        batch = WorkloadGenerator(topo, catalog, alpha=0.271).generate(seed=13)
+        result = VideoScheduler(topo, catalog).solve(batch)
+        cm = CostModel(topo, catalog)
+        statement = allocate_costs(result.schedule, cm)
+        assert statement.grand_total == pytest.approx(result.total_cost)
+        # every user with a delivery got an invoice
+        assert set(statement.invoices) == {
+            d.request.user_id for d in result.schedule.deliveries
+        }
+        # all invoices positive (every service moved bytes or used a cache)
+        assert all(i.total >= 0 for i in statement.invoices.values())

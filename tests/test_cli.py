@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_worked_example(self, capsys):
+        assert main(["worked-example"]) == 0
+        out = capsys.readouterr().out
+        assert "259.200" in out and "138.975" in out
+
+    def test_fig7_quick(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "network only system" in out
+        assert "completed in" in out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "IS size=" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["fig7", "--quick", "--seed", "7"]) == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figZZZ"])
+
+    def test_gap(self, capsys):
+        assert main(["gap"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+
+    def test_run_env(self, capsys, tmp_path):
+        from repro import (
+            WorkloadGenerator,
+            paper_catalog,
+            paper_topology,
+            units,
+        )
+        from repro.io import save_environment
+
+        topo = paper_topology(
+            nrate=units.per_gb(500),
+            srate=units.per_gb_hour(5),
+            capacity=units.gb(5),
+        )
+        catalog = paper_catalog(20, seed=2)
+        batch = WorkloadGenerator(topo, catalog, users_per_neighborhood=2).generate(2)
+        path = tmp_path / "env.json"
+        save_environment(path, topology=topo, catalog=catalog, batch=batch)
+        assert main(["run-env", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "total cost" in out
+        assert "network-only baseline" in out
+
+    def test_run_env_requires_path(self):
+        with pytest.raises(SystemExit, match="requires"):
+            main(["run-env"])
+
+    def test_run_env_requires_requests(self, tmp_path):
+        from repro import paper_catalog, paper_topology, units
+        from repro.io import save_environment
+
+        topo = paper_topology(
+            nrate=units.per_gb(500),
+            srate=units.per_gb_hour(5),
+            capacity=units.gb(5),
+        )
+        path = tmp_path / "env.json"
+        save_environment(path, topology=topo, catalog=paper_catalog(5, seed=1))
+        with pytest.raises(SystemExit, match="requests"):
+            main(["run-env", str(path)])
+
+    def test_report_writes_all_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "report"
+        assert main(["report", "--quick", "--out", str(out_dir)]) == 0
+        written = {p.name for p in out_dir.iterdir()}
+        for expected in (
+            "worked_example.txt",
+            "fig5.txt",
+            "fig9.txt",
+            "table5.txt",
+            "optimality_gap.txt",
+            "ablation_bandwidth.txt",
+            "INDEX.txt",
+        ):
+            assert expected in written
+        assert "259.200" in (out_dir / "worked_example.txt").read_text()

@@ -1,0 +1,122 @@
+"""Robustness: clear errors on malformed inputs at every entry point."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    IndividualScheduler,
+    Request,
+    RequestBatch,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    chain_topology,
+)
+from repro.errors import (
+    CatalogError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+)
+
+
+@pytest.fixture
+def env():
+    topo = chain_topology(2, nrate=1.0, srate=1e-3, capacity=1e12)
+    catalog = VideoCatalog([VideoFile("v", size=100.0, playback=10.0)])
+    return topo, catalog
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        import repro.errors as errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+
+class TestSchedulerInputs:
+    def test_request_for_unknown_video(self, env):
+        topo, catalog = env
+        batch = RequestBatch([Request(0.0, "ghost", "u1", "IS1")])
+        with pytest.raises(CatalogError, match="unknown video"):
+            VideoScheduler(topo, catalog).solve(batch)
+
+    def test_request_for_unknown_storage(self, env):
+        topo, catalog = env
+        batch = RequestBatch([Request(0.0, "v", "u1", "IS99")])
+        with pytest.raises(RoutingError):
+            VideoScheduler(topo, catalog).solve(batch)
+
+    def test_empty_batch_is_fine(self, env):
+        topo, catalog = env
+        result = VideoScheduler(topo, catalog).solve(RequestBatch())
+        assert result.total_cost == 0.0
+        assert len(result.schedule) == 0
+
+    def test_cost_model_catalog_mismatch(self, env):
+        topo, catalog = env
+        other = VideoCatalog([VideoFile("w", size=1.0, playback=1.0)])
+        cm = CostModel(topo, other)
+        greedy = IndividualScheduler(cm)
+        with pytest.raises(CatalogError):
+            greedy.schedule_file(
+                VideoFile("v", size=100.0, playback=10.0),
+                [Request(0.0, "v", "u1", "IS1")],
+            )
+
+    def test_no_warehouse_in_topology(self):
+        t = Topology()
+        t.add_storage("IS1", srate=0.0, capacity=1e9)
+        catalog = VideoCatalog([VideoFile("v", size=1.0, playback=1.0)])
+        cm = CostModel(t, catalog)
+        with pytest.raises(ScheduleError, match="no warehouse"):
+            IndividualScheduler(cm)
+
+
+class TestNumericEdges:
+    def test_tiny_video(self, env):
+        topo, _ = env
+        catalog = VideoCatalog([VideoFile("tiny", size=1e-6, playback=1e-3)])
+        batch = RequestBatch(
+            [
+                Request(0.0, "tiny", "u1", "IS1"),
+                Request(1.0, "tiny", "u2", "IS1"),
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        assert result.total_cost >= 0.0
+
+    def test_huge_video(self, env):
+        topo, _ = env
+        catalog = VideoCatalog(
+            [VideoFile("huge", size=1e15, playback=1e5)]
+        )
+        batch = RequestBatch([Request(0.0, "huge", "u1", "IS2")])
+        result = VideoScheduler(topo, catalog).solve(batch)
+        assert result.total_cost == pytest.approx(2e15)  # 2 hops x 1 $/B
+
+    def test_zero_rate_environment(self):
+        """Free network + free storage: everything costs nothing."""
+        topo = chain_topology(2, nrate=0.0, srate=0.0, capacity=1e12)
+        catalog = VideoCatalog([VideoFile("v", size=100.0, playback=10.0)])
+        batch = RequestBatch(
+            [Request(float(i * 5), "v", f"u{i}", "IS2") for i in range(4)]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        assert result.total_cost == 0.0
+
+    def test_negative_time_requests(self, env):
+        """Times are cycle-relative; negative values are legal."""
+        topo, catalog = env
+        batch = RequestBatch(
+            [
+                Request(-100.0, "v", "u1", "IS1"),
+                Request(-50.0, "v", "u2", "IS1"),
+            ]
+        )
+        result = VideoScheduler(topo, catalog).solve(batch)
+        assert len(result.schedule.deliveries) == 2

@@ -1,0 +1,52 @@
+"""Tests for topology validation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Topology, validate_topology
+
+
+def _base():
+    t = Topology()
+    t.add_warehouse("VW")
+    t.add_storage("IS1", srate=1e-12, capacity=1e9)
+    t.add_edge("VW", "IS1", nrate=1e-7)
+    return t
+
+
+class TestValidateTopology:
+    def test_valid_passes(self):
+        validate_topology(_base())
+
+    def test_no_warehouse(self):
+        t = Topology()
+        t.add_storage("IS1", srate=0.0, capacity=1e9)
+        with pytest.raises(TopologyError, match="no warehouse"):
+            validate_topology(t)
+
+    def test_no_storage(self):
+        t = Topology()
+        t.add_warehouse("VW")
+        with pytest.raises(TopologyError, match="no intermediate storage"):
+            validate_topology(t)
+
+    def test_unreachable_storage(self):
+        t = _base()
+        t.add_storage("IS2", srate=0.0, capacity=1e9)  # no edge
+        with pytest.raises(TopologyError, match="unreachable"):
+            validate_topology(t)
+
+    def test_nonfinite_edge_rate(self):
+        t = _base()
+        t.add_storage("IS2", srate=0.0, capacity=1e9)
+        t.add_edge("IS1", "IS2", nrate=float("inf"))
+        with pytest.raises(TopologyError, match="non-finite nrate"):
+            validate_topology(t)
+
+    def test_nonfinite_srate(self):
+        t = Topology()
+        t.add_warehouse("VW")
+        t.add_storage("IS1", srate=float("inf"), capacity=1e9)
+        t.add_edge("VW", "IS1", nrate=1.0)
+        with pytest.raises(TopologyError, match="non-finite srate"):
+            validate_topology(t)

@@ -1,0 +1,212 @@
+"""Tests for the hierarchical-warehouse staging planner."""
+
+import pytest
+
+from repro import (
+    DeliveryInfo,
+    FileSchedule,
+    Request,
+    Schedule,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.errors import ConfigError
+from repro.warehouse import StagingPlanner, WarehouseSpec
+
+
+def _vw_stream(vid: str, t: float, loc: str = "IS1") -> DeliveryInfo:
+    return DeliveryInfo(vid, ("VW", loc), t, Request(t, vid, f"u@{t}", loc))
+
+
+def _schedule(streams) -> Schedule:
+    files: dict[str, FileSchedule] = {}
+    for vid, t in streams:
+        files.setdefault(vid, FileSchedule(vid)).add_delivery(_vw_stream(vid, t))
+    return Schedule(files.values())
+
+
+@pytest.fixture
+def catalog():
+    return VideoCatalog(
+        [VideoFile(f"v{i}", size=10.0 * units.GB, playback=3600.0) for i in range(6)]
+    )
+
+
+@pytest.fixture
+def spec():
+    # 10 GB titles stage in 90 + 10e9/30e6 = 423.3 s
+    return WarehouseSpec(
+        disk_capacity=25 * units.GB,
+        tape_drives=2,
+        tape_bandwidth=30 * units.MB,
+        tape_seek=90.0,
+    )
+
+
+class TestWarehouseSpec:
+    def test_staging_duration(self, spec):
+        assert spec.staging_duration(10 * units.GB) == pytest.approx(
+            90.0 + 10e9 / 30e6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WarehouseSpec(disk_capacity=0)
+        with pytest.raises(ConfigError):
+            WarehouseSpec(tape_drives=0)
+        with pytest.raises(ConfigError):
+            WarehouseSpec(tape_bandwidth=-1)
+        with pytest.raises(ConfigError):
+            WarehouseSpec(tape_seek=-1)
+        with pytest.raises(ConfigError):
+            WarehouseSpec().staging_duration(0)
+
+
+class TestStagingPlanner:
+    def test_single_stream_staged_in_time(self, catalog, spec):
+        planner = StagingPlanner(spec, catalog)
+        report = planner.plan(_schedule([("v0", 1000.0)]))
+        assert report.total_streams == 1
+        assert len(report.tasks) == 1
+        assert report.misses == []
+        task = report.tasks[0]
+        assert task.finish <= 1000.0
+        assert not task.late
+
+    def test_reuse_is_a_hit(self, catalog, spec):
+        planner = StagingPlanner(spec, catalog)
+        report = planner.plan(_schedule([("v0", 1000.0), ("v0", 2000.0)]))
+        assert len(report.tasks) == 1
+        assert report.hits == 1
+        assert report.hit_rate == 0.5
+
+    def test_late_staging_reported(self, catalog, spec):
+        """A stream at t=0 cannot possibly have been staged."""
+        planner = StagingPlanner(spec, catalog)
+        report = planner.plan(_schedule([("v0", 0.0)]))
+        assert len(report.misses) == 1
+        assert report.misses[0].cause == "late"
+        assert report.misses[0].detail > 0
+        assert report.miss_rate == 1.0
+
+    def test_drive_contention_causes_lateness(self, catalog):
+        """Three distinct titles due at once on two drives: one is late."""
+        roomy = WarehouseSpec(
+            disk_capacity=100 * units.GB,  # space is not the constraint here
+            tape_drives=2,
+            tape_bandwidth=30 * units.MB,
+            tape_seek=90.0,
+        )
+        t = 500.0  # enough time for one staging round (423 s) but not two
+        planner = StagingPlanner(roomy, catalog)
+        report = planner.plan(
+            _schedule([("v0", t), ("v1", t + 1.0), ("v2", t + 2.0)])
+        )
+        late = [m for m in report.misses if m.cause == "late"]
+        assert len(late) == 1
+        assert late[0].video_id == "v2"
+
+    def test_belady_eviction_keeps_sooner_reuse(self, catalog, spec):
+        """Disk fits 2 titles; the one reused sooner survives eviction."""
+        planner = StagingPlanner(spec, catalog)
+        # v0 reused at 20000 (soon), v1 reused at 90000 (far), v2 forces evict
+        report = planner.plan(
+            _schedule(
+                [
+                    ("v0", 5000.0),
+                    ("v1", 6000.0),
+                    ("v2", 15000.0),  # needs space: evict v1 (farther reuse)
+                    ("v0", 20000.0),  # should be a hit
+                    ("v1", 90000.0),  # re-staged
+                ]
+            )
+        )
+        assert report.misses == []
+        staged = [t.video_id for t in report.tasks]
+        assert staged.count("v1") == 2  # evicted and staged again
+        assert staged.count("v0") == 1  # survived on disk
+        assert report.hits == 1
+
+    def test_space_miss_when_all_in_use(self, catalog):
+        """Disk holds one title; simultaneous streams can't both fit."""
+        tiny = WarehouseSpec(
+            disk_capacity=10 * units.GB,
+            tape_drives=2,
+            tape_bandwidth=30 * units.MB,
+            tape_seek=90.0,
+        )
+        planner = StagingPlanner(tiny, catalog)
+        report = planner.plan(
+            _schedule([("v0", 5000.0), ("v1", 5100.0)])  # overlapping streams
+        )
+        causes = {m.cause for m in report.misses}
+        assert "space" in causes
+
+    def test_disk_never_overcommitted(self, catalog, spec):
+        planner = StagingPlanner(spec, catalog)
+        streams = [(f"v{i % 6}", 3000.0 * (i + 1)) for i in range(12)]
+        report = planner.plan(_schedule(streams))
+        assert report.peak_disk_usage <= spec.disk_capacity + 1e-6
+
+    def test_empty_schedule(self, catalog, spec):
+        report = StagingPlanner(spec, catalog).plan(Schedule())
+        assert report.total_streams == 0
+        assert report.miss_rate == 0.0 and report.hit_rate == 0.0
+
+    def test_drive_utilization(self, catalog, spec):
+        planner = StagingPlanner(spec, catalog)
+        report = planner.plan(_schedule([("v0", 5000.0), ("v1", 6000.0)]))
+        utils = report.drive_utilization(spec)
+        assert len(utils) == 2
+        assert all(0.0 <= u <= 1.0 for u in utils)
+
+
+class TestEndToEndStaging:
+    def test_plan_for_real_schedule(self):
+        """Plan staging for a full paper-scale scheduler output."""
+        topo = paper_topology(
+            nrate=units.per_gb(500),
+            srate=units.per_gb_hour(5),
+            capacity=units.gb(8),
+        )
+        catalog = paper_catalog(seed=6)
+        batch = WorkloadGenerator(topo, catalog, alpha=0.271).generate(seed=6)
+        result = VideoScheduler(topo, catalog).solve(batch)
+        spec = WarehouseSpec(
+            disk_capacity=400 * units.GB,
+            tape_drives=8,
+            tape_bandwidth=60 * units.MB,
+        )
+        report = StagingPlanner(spec, catalog).plan(result.schedule)
+        assert report.total_streams > 0
+        assert report.total_streams == sum(
+            1 for d in result.schedule.deliveries if d.source == "VW"
+        )
+        assert report.peak_disk_usage <= spec.disk_capacity + 1e-6
+        # generous hardware: nearly everything staged on time
+        assert report.miss_rate < 0.25
+
+    def test_more_drives_never_more_misses(self):
+        topo = paper_topology(
+            nrate=units.per_gb(500),
+            srate=units.per_gb_hour(5),
+            capacity=units.gb(8),
+        )
+        catalog = paper_catalog(100, seed=8)
+        batch = WorkloadGenerator(topo, catalog, alpha=0.271).generate(seed=8)
+        result = VideoScheduler(topo, catalog).solve(batch)
+        misses = []
+        for drives in (1, 4, 16):
+            spec = WarehouseSpec(
+                disk_capacity=500 * units.GB,
+                tape_drives=drives,
+                tape_bandwidth=60 * units.MB,
+            )
+            report = StagingPlanner(spec, catalog).plan(result.schedule)
+            misses.append(len(report.misses))
+        assert misses[0] >= misses[1] >= misses[2]

@@ -1,0 +1,87 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro import PeakHourArrivals, SlottedArrivals, UniformArrivals, units
+from repro.errors import WorkloadError
+
+
+class TestUniformArrivals:
+    def test_range(self):
+        a = UniformArrivals(cycle=100.0)
+        s = a.sample(1000, np.random.default_rng(0))
+        assert (s >= 0).all() and (s < 100.0).all()
+
+    def test_deterministic(self):
+        a = UniformArrivals()
+        s1 = a.sample(10, np.random.default_rng(3))
+        s2 = a.sample(10, np.random.default_rng(3))
+        assert np.array_equal(s1, s2)
+
+    def test_roughly_uniform(self):
+        a = UniformArrivals(cycle=1.0)
+        s = a.sample(100_000, np.random.default_rng(1))
+        hist, _ = np.histogram(s, bins=10, range=(0, 1))
+        assert (np.abs(hist / 10_000 - 1.0) < 0.05).all()
+
+    def test_invalid_cycle(self):
+        with pytest.raises(WorkloadError):
+            UniformArrivals(cycle=0.0)
+
+    def test_negative_n(self):
+        with pytest.raises(WorkloadError):
+            UniformArrivals().sample(-1, np.random.default_rng(0))
+
+
+class TestPeakHourArrivals:
+    def test_range_with_wraparound(self):
+        a = PeakHourArrivals(
+            cycle=units.DAY, peak_center=23.5 * units.HOUR, peak_width=units.HOUR
+        )
+        s = a.sample(5000, np.random.default_rng(0))
+        assert (s >= 0).all() and (s < units.DAY).all()
+
+    def test_concentration_around_peak(self):
+        a = PeakHourArrivals(
+            cycle=units.DAY,
+            peak_center=20 * units.HOUR,
+            peak_width=units.HOUR,
+            peak_weight=0.8,
+        )
+        s = a.sample(20_000, np.random.default_rng(1))
+        window = (s > 17 * units.HOUR) & (s < 23 * units.HOUR)
+        # the 6h window holds the 80% peak plus 25% of the uniform 20%
+        assert window.mean() > 0.7
+
+    def test_zero_weight_is_uniform(self):
+        a = PeakHourArrivals(cycle=1.0, peak_weight=0.0, peak_center=0.5, peak_width=0.1)
+        s = a.sample(50_000, np.random.default_rng(2))
+        hist, _ = np.histogram(s, bins=4, range=(0, 1))
+        assert (np.abs(hist / 12_500 - 1.0) < 0.05).all()
+
+    def test_invalid_weight(self):
+        with pytest.raises(WorkloadError):
+            PeakHourArrivals(peak_weight=1.5)
+
+    def test_invalid_width(self):
+        with pytest.raises(WorkloadError):
+            PeakHourArrivals(peak_width=0.0)
+
+
+class TestSlottedArrivals:
+    def test_snapped_to_slots(self):
+        a = SlottedArrivals(cycle=units.DAY, slot=30 * units.MINUTE)
+        s = a.sample(1000, np.random.default_rng(0))
+        assert (np.mod(s, 30 * units.MINUTE) == 0).all()
+
+    def test_range(self):
+        a = SlottedArrivals(cycle=100.0, slot=30.0)
+        s = a.sample(1000, np.random.default_rng(0))
+        assert set(np.unique(s)) <= {0.0, 30.0, 60.0}
+
+    def test_invalid_slot(self):
+        with pytest.raises(WorkloadError):
+            SlottedArrivals(cycle=10.0, slot=20.0)
+        with pytest.raises(WorkloadError):
+            SlottedArrivals(cycle=10.0, slot=0.0)
