@@ -4,13 +4,28 @@ Not a paper artifact: tracks the runtime of the two-phase solve at the
 paper's scale and of its building blocks, so regressions in the hot paths
 (routing, greedy pricing, overflow sweeps) are caught by
 ``pytest benchmarks/ --benchmark-only``.
+
+Also runs standalone as the parallel-scheduling speedup report::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_perf.py [--quick]
+        [--videos N] [--workers N] [--backends thread,process]
+
+which times Phase 1 serially and on each parallel backend over a 500-video
+batch (``--quick``: 60 videos), verifies every run is bit-identical to the
+serial schedule, and reports speedups plus cost-cache hit rates.
 """
+
+import argparse
+import sys
+import time
 
 import pytest
 
 from repro import (
     CostModel,
     IndividualScheduler,
+    ParallelConfig,
+    ParallelIndividualScheduler,
     VideoScheduler,
     WorkloadGenerator,
     paper_catalog,
@@ -48,6 +63,22 @@ def test_bench_phase1_only(benchmark, env):
     assert len(schedule.deliveries) == len(batch)
 
 
+def test_bench_phase1_uncached(benchmark, env):
+    topo, catalog, batch = env
+    greedy = IndividualScheduler(CostModel(topo, catalog, cache=False))
+    schedule = benchmark(lambda: greedy.solve(batch))
+    assert len(schedule.deliveries) == len(batch)
+
+
+def test_bench_phase1_process_pool(benchmark, env):
+    topo, catalog, batch = env
+    engine = ParallelIndividualScheduler(
+        CostModel(topo, catalog), ParallelConfig(backend="process", workers=2)
+    )
+    result = benchmark(lambda: engine.run(batch))
+    assert len(result.schedule.deliveries) == len(batch)
+
+
 def test_bench_overflow_detection(benchmark, env):
     topo, catalog, batch = env
     cm = CostModel(topo, catalog)
@@ -62,3 +93,108 @@ def test_bench_usage_timeline_sweep(benchmark):
     ]
     tl = benchmark(lambda: UsageTimeline(profiles))
     assert tl.peak > 0
+
+
+# -- standalone speedup report ------------------------------------------------
+
+
+def _build_env(n_videos: int, users: int):
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(n_videos=n_videos, seed=4)
+    batch = WorkloadGenerator(
+        topo, catalog, alpha=0.271, users_per_neighborhood=users
+    ).generate(seed=4)
+    return topo, catalog, batch
+
+
+def _time_phase1(topo, catalog, batch, config, repeats):
+    """Best-of-N wall time of one Phase-1 run plus its result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        engine = ParallelIndividualScheduler(CostModel(topo, catalog), config)
+        t0 = time.perf_counter()
+        result = engine.run(batch)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial-vs-parallel Phase-1 speedup and cache report"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="60-video smoke run (CI-sized)"
+    )
+    parser.add_argument("--videos", type=int, default=None, help="catalog size")
+    parser.add_argument(
+        "--workers", type=int, default=8, help="pool size (default 8)"
+    )
+    parser.add_argument(
+        "--backends",
+        default="thread,process",
+        help="comma-separated parallel backends to time",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="best-of-N timing (default 3/1)"
+    )
+    args = parser.parse_args(argv)
+
+    n_videos = args.videos if args.videos else (60 if args.quick else 500)
+    users = 4 if args.quick else 10
+    repeats = args.repeats if args.repeats else (1 if args.quick else 3)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    unknown = [b for b in backends if b not in ("thread", "process")]
+    if unknown:
+        parser.error(f"--backends must be thread and/or process, got {unknown}")
+
+    topo, catalog, batch = _build_env(n_videos, users)
+    print(
+        f"Phase-1 speedup report: {n_videos} videos, {len(batch)} requests, "
+        f"{args.workers} workers, best of {repeats}"
+    )
+
+    serial_t, serial = _time_phase1(
+        topo, catalog, batch, ParallelConfig(), repeats
+    )
+    # time the uncached model separately for the cache-win line
+    t0 = time.perf_counter()
+    uncached_schedule = ParallelIndividualScheduler(
+        CostModel(topo, catalog, cache=False)
+    ).run(batch).schedule
+    uncached_t = time.perf_counter() - t0
+    assert uncached_schedule == serial.schedule, "cache changed the schedule!"
+
+    # cache hit rate of a full two-phase solve (greedy + SORP repricing)
+    solve = VideoScheduler(topo, catalog).solve(batch)
+
+    rows = [("serial", serial_t, 1.0, solve.cache_hit_rate)]
+    for backend in backends:
+        cfg = ParallelConfig(backend=backend, workers=args.workers)
+        t, result = _time_phase1(topo, catalog, batch, cfg, repeats)
+        assert result.schedule == serial.schedule, f"{backend} diverged!"
+        par_solve = VideoScheduler(topo, catalog, parallel=cfg).solve(batch)
+        rows.append((backend, t, serial_t / t, par_solve.cache_hit_rate))
+
+    print(f"\n{'backend':<10} {'time (s)':>10} {'speedup':>9} {'cache hit':>10}")
+    for name, t, speedup, hit_rate in rows:
+        print(f"{name:<10} {t:>10.3f} {speedup:>8.2f}x {100 * hit_rate:>9.1f}%")
+    print(
+        f"\nuncached serial Phase 1: {uncached_t:.3f}s "
+        f"(cache win {uncached_t / serial_t:.2f}x); all backends bit-identical"
+    )
+    print(
+        f"full solve cache: {solve.cache_stats.hits}/"
+        f"{solve.cache_stats.lookups} hits "
+        f"({100 * solve.cache_hit_rate:.1f}%), "
+        f"SORP share {solve.resolution.cache_stats.lookups} lookups"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from repro import io, units
 from repro.billing import BillingStatement, Invoice, allocate_costs
 from repro.catalog import VideoCatalog, VideoFile, paper_catalog, uniform_catalog
 from repro.core import (
+    CacheStats,
     CostBreakdown,
     CostModel,
     DeliveryInfo,
@@ -33,6 +34,9 @@ from repro.core import (
     HeatMetric,
     IndividualScheduler,
     OverflowSituation,
+    ParallelConfig,
+    ParallelIndividualScheduler,
+    Phase1Result,
     ResidencyInfo,
     ResolutionStats,
     Schedule,
@@ -80,6 +84,7 @@ __all__ = [
     "VideoFile",
     "paper_catalog",
     "uniform_catalog",
+    "CacheStats",
     "CostBreakdown",
     "CostModel",
     "DeliveryInfo",
@@ -87,6 +92,9 @@ __all__ = [
     "HeatMetric",
     "IndividualScheduler",
     "OverflowSituation",
+    "ParallelConfig",
+    "ParallelIndividualScheduler",
+    "Phase1Result",
     "ResidencyInfo",
     "ResolutionStats",
     "Schedule",

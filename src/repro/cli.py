@@ -93,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default="repro-report",
         help="output directory for the 'report' command (default ./repro-report)",
     )
+    parser.add_argument(
+        "--phase1-backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="Phase-1 execution backend for 'run-env' (default serial; "
+        "results are bit-identical across backends)",
+    )
+    parser.add_argument(
+        "--phase1-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for --phase1-backend thread/process "
+        "(default: CPU count)",
+    )
     return parser
 
 
@@ -170,7 +185,9 @@ def _run_environment(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
     from repro.baselines import network_only_cost
     from repro.core.costmodel import CostModel
+    from repro.core.parallel import ParallelConfig
     from repro.core.scheduler import VideoScheduler
+    from repro.errors import ScheduleError
     from repro.io import load_environment
 
     if not args.env_file:
@@ -180,7 +197,13 @@ def _run_environment(args: argparse.Namespace) -> None:
         raise SystemExit(
             f"{args.env_file} contains no 'requests' section to schedule"
         )
-    result = VideoScheduler(topology, catalog).solve(batch)
+    try:
+        parallel = ParallelConfig(
+            backend=args.phase1_backend, workers=args.phase1_workers
+        )
+    except ScheduleError as exc:
+        raise SystemExit(f"invalid phase-1 options: {exc}") from exc
+    result = VideoScheduler(topology, catalog, parallel=parallel).solve(batch)
     cm = CostModel(topology, catalog)
     print(
         format_table(
@@ -194,6 +217,12 @@ def _run_environment(args: argparse.Namespace) -> None:
                 ["total cost ($)", result.total_cost],
                 ["network-only baseline ($)", network_only_cost(batch, cm)],
                 ["overflow fixes", result.resolution.iterations],
+                ["phase-1 backend", args.phase1_backend],
+                [
+                    "cost-cache hit rate",
+                    f"{100 * result.cache_hit_rate:.1f} % "
+                    f"({result.cache_stats.hits}/{result.cache_stats.lookups})",
+                ],
             ],
             title=f"schedule for {args.env_file}",
         )

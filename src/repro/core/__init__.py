@@ -6,6 +6,7 @@ Layout:
 * :mod:`repro.core.spacefunc`  -- space-time profiles ``f_c(t)`` (Eqs. 5-7)
 * :mod:`repro.core.costmodel`  -- the mapping Ψ (Eqs. 1-4)
 * :mod:`repro.core.individual` -- Phase 1: capacity-ignorant per-file greedy
+* :mod:`repro.core.parallel`   -- Phase-1 fan-out engine (serial/thread/process)
 * :mod:`repro.core.overflow`   -- storage-overflow detection (Sec. 4.1)
 * :mod:`repro.core.heat`       -- victim-selection heat metrics (Eqs. 8-11)
 * :mod:`repro.core.rejective`  -- capacity-aware rescheduling (Sec. 4.4)
@@ -21,14 +22,20 @@ from repro.core.schedule import (
 )
 from repro.core.spacefunc import (
     UsageTimeline,
+    charged_space_time,
     delta_space,
     gamma_coefficient,
     residency_profile,
 )
-from repro.core.costmodel import CostBreakdown, CostModel
+from repro.core.costmodel import CacheStats, CostBreakdown, CostModel
 from repro.core.heat import HeatMetric, compute_heat
 from repro.core.overflow import OverflowSituation, detect_overflows
 from repro.core.individual import IndividualScheduler
+from repro.core.parallel import (
+    ParallelConfig,
+    ParallelIndividualScheduler,
+    Phase1Result,
+)
 from repro.core.rejective import RejectiveGreedyScheduler, ResidencyConstraints
 from repro.core.sorp import ResolutionStats, resolve_overflows
 from repro.core.scheduler import ScheduleResult, VideoScheduler
@@ -39,11 +46,16 @@ __all__ = [
     "ResidencyInfo",
     "Schedule",
     "UsageTimeline",
+    "charged_space_time",
     "delta_space",
     "gamma_coefficient",
     "residency_profile",
+    "CacheStats",
     "CostBreakdown",
     "CostModel",
+    "ParallelConfig",
+    "ParallelIndividualScheduler",
+    "Phase1Result",
     "HeatMetric",
     "compute_heat",
     "OverflowSituation",

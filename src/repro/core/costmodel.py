@@ -33,6 +33,35 @@ from repro.topology.routing import Router
 
 
 @dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of the memoized cost-evaluation cache.
+
+    Instances are immutable snapshots; subtract two snapshots to get the
+    activity between them, add several to aggregate across workers.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits - other.hits, self.misses - other.misses)
+
+
+@dataclass(frozen=True)
 class CostBreakdown:
     """Total schedule cost split by resource type (all in $)."""
 
@@ -48,12 +77,50 @@ class CostBreakdown:
 
 
 class CostModel:
-    """Evaluates Ψ over schedules against a fixed topology + catalog."""
+    """Evaluates Ψ over schedules against a fixed topology + catalog.
 
-    def __init__(self, topology: Topology, catalog: VideoCatalog):
+    Args:
+        topology: Priced delivery infrastructure.
+        catalog: Schedulable videos.
+        cache: Enable the memoized cost-evaluation cache (on by default).
+            Ψ_C values are keyed on ``(srate, size, span, P)`` -- the full
+            set of inputs Eq. 2/3 depends on -- and per-route Ψ_D rates on
+            the route's node tuple, so cached evaluation is exactly equal to
+            uncached evaluation.  Greedy placement and SORP victim
+            rescheduling reprice the same residency intervals and routes
+            millions of times; the cache turns those into dict lookups.
+        cache_limit: Entry count at which a cache is wiped and restarted
+            (bounds memory; correctness is unaffected).
+
+    The cache is transparent to subclasses: :meth:`network_multiplier` is
+    applied *outside* the cached route rate, so time-of-day tariffs stay
+    exact.  Instances may be shared across threads -- dict reads/writes are
+    atomic under the GIL and entries are immutable once stored; the hit/miss
+    counters may undercount slightly under concurrent mutation (they are
+    exact for serial and process-backend runs).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        cache: bool = True,
+        cache_limit: int = 1 << 18,
+    ):
+        if cache_limit < 1:
+            raise ScheduleError(f"cache_limit must be >= 1, got {cache_limit}")
         self._topo = topology
         self._catalog = catalog
         self._router = Router(topology)
+        self._cache_enabled = bool(cache)
+        self._cache_limit = cache_limit
+        #: (srate, size, playback, span) -> Ψ_C
+        self._psi_c_cache: dict[tuple[float, float, float, float], float] = {}
+        #: route node tuple -> effective $/byte rate (before tariff)
+        self._psi_d_cache: dict[tuple[str, ...], float] = {}
+        self._hits = 0
+        self._misses = 0
 
     @property
     def topology(self) -> Topology:
@@ -67,14 +134,88 @@ class CostModel:
     def router(self) -> Router:
         return self._router
 
+    def __getstate__(self) -> dict:
+        # Pickled models (shipped to process-pool workers) start with cold
+        # caches: memoized values are pure recomputables and the counters
+        # belong to the sending process.
+        state = self.__dict__.copy()
+        state["_psi_c_cache"] = {}
+        state["_psi_d_cache"] = {}
+        state["_hits"] = 0
+        state["_misses"] = 0
+        return state
+
+    # -- cache bookkeeping ---------------------------------------------------
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters since the last reset."""
+        return CacheStats(self._hits, self._misses)
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss counters (cached values are kept)."""
+        self._hits = 0
+        self._misses = 0
+
+    def clear_cache(self) -> None:
+        """Drop every memoized value (counters are kept)."""
+        self._psi_c_cache.clear()
+        self._psi_d_cache.clear()
+
+    def _psi_c(self, srate: float, size: float, playback: float, span: float) -> float:
+        # NB: the product keeps the historical operand order (and therefore
+        # bit-identical floats); `charged_space_time` is the same quantity
+        # modulo association and is what the invariant tests check against.
+        if not self._cache_enabled:
+            g = gamma_coefficient(0.0, span, playback)
+            return srate * size * g * (span + 0.5 * playback)
+        key = (srate, size, playback, span)
+        value = self._psi_c_cache.get(key)
+        if value is not None:
+            self._hits += 1
+            return value
+        self._misses += 1
+        g = gamma_coefficient(0.0, span, playback)
+        value = srate * size * g * (span + 0.5 * playback)
+        if len(self._psi_c_cache) >= self._cache_limit:
+            self._psi_c_cache.clear()
+        self._psi_c_cache[key] = value
+        return value
+
+    def _route_rate(self, route: tuple[str, ...]) -> float:
+        """Effective $/byte rate of a concrete route (tariff applied later)."""
+        if self._cache_enabled:
+            value = self._psi_d_cache.get(route)
+            if value is not None:
+                self._hits += 1
+                return value
+            self._misses += 1
+        if (
+            self._topo.charging_basis is ChargingBasis.END_TO_END
+            and (explicit := self._topo.pair_rate(route[0], route[-1])) is not None
+        ):
+            value = explicit
+        else:
+            value = math.fsum(
+                self._topo.edge(a, b).nrate for a, b in zip(route, route[1:])
+            )
+        if self._cache_enabled:
+            if len(self._psi_d_cache) >= self._cache_limit:
+                self._psi_d_cache.clear()
+            self._psi_d_cache[route] = value
+        return value
+
     # -- storage: Ψ_C -------------------------------------------------------
 
     def residency_cost(self, c: ResidencyInfo) -> float:
         """Ψ_C(c) per Eqs. 2-3 (unified with the Eq. 7 gamma)."""
         video = self._catalog[c.video_id]
         srate = self._topo.srate(c.location)
-        g = gamma_coefficient(c.t_start, c.t_last, video.playback)
-        return srate * video.size * g * (c.span + 0.5 * video.playback)
+        return self._psi_c(srate, video.size, video.playback, c.span)
 
     # -- network: Ψ_D -------------------------------------------------------
 
@@ -97,14 +238,7 @@ class CostModel:
         if len(d.route) == 1:
             return 0.0  # served from the user's own local storage
         multiplier = self.network_multiplier(d.start_time)
-        if self._topo.charging_basis is ChargingBasis.END_TO_END:
-            explicit = self._topo.pair_rate(d.source, d.destination)
-            if explicit is not None:
-                return volume * explicit * multiplier
-        rate = math.fsum(
-            self._topo.edge(a, b).nrate for a, b in zip(d.route, d.route[1:])
-        )
-        return volume * rate * multiplier
+        return volume * self._route_rate(d.route) * multiplier
 
     # -- aggregates ----------------------------------------------------------
 
@@ -141,5 +275,4 @@ class CostModel:
             )
         video = self._catalog[video_id]
         srate = self._topo.srate(location)
-        g = gamma_coefficient(t_start, t_last, video.playback)
-        return srate * video.size * g * ((t_last - t_start) + 0.5 * video.playback)
+        return self._psi_c(srate, video.size, video.playback, t_last - t_start)

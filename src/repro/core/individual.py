@@ -99,6 +99,14 @@ class IndividualScheduler:
             (every traversed storage, the default) or ``"destination"``
             (only the user's local storage).  The destination-only variant
             exists for the ablation study -- it is strictly weaker.
+
+    Thread-safety: with the default (stateless) route policy, one instance
+    may serve concurrent :meth:`schedule_file` calls from multiple threads
+    -- all mutable per-solve state lives in the :class:`FileGreedySession`;
+    the shared router/cost caches are dictionaries whose operations are
+    atomic under the GIL.  Stateful route policies (e.g. the bandwidth
+    extension, which books link capacity in :meth:`RoutePolicy.commit`) are
+    NOT safe to share and must stay on the serial path.
     """
 
     def __init__(
@@ -122,10 +130,13 @@ class IndividualScheduler:
             route_policy if route_policy is not None else RoutePolicy(self._router)
         )
         self._deposit_scope = deposit_scope
-        self._warehouses = [w.name for w in self._topo.warehouses]
+        # Immutable copies: scheduler instances are shared across worker
+        # threads by the parallel Phase-1 engine, and all per-solve mutable
+        # state must live in the per-call FileGreedySession instead.
+        self._warehouses = tuple(w.name for w in self._topo.warehouses)
         if not self._warehouses:
             raise ScheduleError("topology has no warehouse to serve from")
-        self._storage_names = {s.name for s in self._topo.storages}
+        self._storage_names = frozenset(s.name for s in self._topo.storages)
 
     # -- public API ----------------------------------------------------------
 

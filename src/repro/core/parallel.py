@@ -1,0 +1,282 @@
+"""Parallel Phase-1 execution engine.
+
+Individual Video Scheduling (paper Sec. 3.2) is embarrassingly parallel:
+``IVSP_solve`` partitions the cycle's requests into per-video sets ``R_i``
+and computes each file's schedule independently.  Each ``S_i`` is a pure
+function of ``(video, sorted(R_i), seed residencies)`` against a fixed
+topology + catalog, so the shards can run on any worker pool and the merged
+result is **bit-identical** to the serial loop:
+
+* shards are formed in the deterministic ``RequestBatch.by_video()`` order
+  (first-request order) and merged back in that same order;
+* within a shard the greedy performs exactly the serial sequence of
+  floating-point operations;
+* the memoized cost cache (:class:`repro.core.costmodel.CostModel`) stores
+  exactly the values the uncached expressions produce, so warm or cold
+  caches cannot change a single bit of any schedule.
+
+Three backends are provided:
+
+``serial``
+    The plain loop; the default and the reference semantics.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` sharing one scheduler
+    and one cost model.  Router and cost-cache dictionaries are safe to
+    share under the GIL (reads/writes are atomic, entries immutable).  Wins
+    when a GIL-releasing cost model or free-threaded build is in play;
+    otherwise it mostly demonstrates determinism.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; the cost model is
+    shipped to each worker once via the pool initializer and shards return
+    pickled :class:`~repro.core.schedule.FileSchedule` objects plus their
+    worker-side cache statistics.  This is the backend that scales Phase 1
+    across cores.
+
+Phase 2 (overflow resolution) stays serial: it is an inherently sequential
+victim-selection loop over the *merged* schedule.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import VideoCatalog
+from repro.catalog.video import VideoFile
+from repro.core.costmodel import CacheStats, CostModel
+from repro.core.individual import IndividualScheduler
+from repro.core.schedule import FileSchedule, ResidencyInfo, Schedule
+from repro.errors import ScheduleError
+from repro.workload.requests import Request, RequestBatch
+
+BACKENDS = ("serial", "thread", "process")
+
+#: One unit of Phase-1 work: a video, its chronological requests, and the
+#: carryover residencies seeding its greedy (empty outside rolling cycles).
+Shard = list[tuple[VideoFile, tuple[Request, ...], tuple[ResidencyInfo, ...]]]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How Phase 1 fans out.
+
+    Attributes:
+        backend: ``"serial"``, ``"thread"`` or ``"process"``.
+        workers: Pool size; ``None`` uses ``os.cpu_count()``.
+        min_videos: Batches with fewer distinct videos than this run the
+            serial loop regardless of backend (pool spin-up costs more than
+            it saves on tiny batches).
+        chunks_per_worker: Shards are contiguous video runs; creating a few
+            per worker balances load when per-video request counts are
+            skewed (Zipf workloads) without drowning the pool in tasks.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    min_videos: int = 2
+    chunks_per_worker: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ScheduleError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ScheduleError(f"workers must be >= 1, got {self.workers}")
+        if self.min_videos < 0:
+            raise ScheduleError(f"min_videos must be >= 0, got {self.min_videos}")
+        if self.chunks_per_worker < 1:
+            raise ScheduleError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+
+    def resolved_workers(self) -> int:
+        """The concrete pool size this config asks for."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class Phase1Result:
+    """Outcome of one Phase-1 fan-out."""
+
+    schedule: Schedule
+    #: Cost-cache activity attributable to this run.  For the process
+    #: backend this aggregates the workers' counters (the caller's model
+    #: never sees their lookups); serial/thread runs hit the caller's model
+    #: directly so the same activity also shows up in its own counters.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    backend: str = "serial"
+    workers: int = 1
+
+
+def make_shards(
+    work: list[tuple[VideoFile, tuple[Request, ...], tuple[ResidencyInfo, ...]]],
+    n_shards: int,
+) -> list[Shard]:
+    """Split the per-video work list into ``n_shards`` contiguous runs.
+
+    Deterministic: depends only on the input order and ``n_shards``.  Sizes
+    differ by at most one (the first ``len(work) % n_shards`` shards get the
+    extra item), and no shard is empty.
+    """
+    if n_shards < 1:
+        raise ScheduleError(f"n_shards must be >= 1, got {n_shards}")
+    n = len(work)
+    if n == 0:
+        return []
+    n_shards = min(n_shards, n)
+    base, extra = divmod(n, n_shards)
+    shards: list[Shard] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(work[start : start + size])
+        start += size
+    return shards
+
+
+# -- process-backend worker plumbing ----------------------------------------
+#
+# Worker processes build their scheduler once (pool initializer) and keep it
+# in a module global; shards then ship only the per-video payload.
+
+_WORKER: dict[str, object] = {}
+
+
+def _worker_init(cost_model: CostModel, deposit_scope: str) -> None:
+    cost_model.reset_cache_stats()
+    _WORKER["cost_model"] = cost_model
+    _WORKER["scheduler"] = IndividualScheduler(
+        cost_model, deposit_scope=deposit_scope
+    )
+
+
+def _worker_solve(shard: Shard) -> tuple[list[FileSchedule], CacheStats]:
+    cost_model: CostModel = _WORKER["cost_model"]  # type: ignore[assignment]
+    scheduler: IndividualScheduler = _WORKER["scheduler"]  # type: ignore[assignment]
+    before = cost_model.cache_stats
+    out = [
+        scheduler.schedule_file(video, list(requests), initial_residencies=seed)
+        for video, requests, seed in shard
+    ]
+    return out, cost_model.cache_stats - before
+
+
+class ParallelIndividualScheduler:
+    """Fan ``IVSP_solve`` out across a worker pool (or run it serially).
+
+    Args:
+        cost_model: Pricing + topology + catalog; shared by every shard (the
+            process backend ships a pickled copy to each worker once).
+        config: Backend/worker selection; ``None`` means serial.
+        deposit_scope: Forwarded to :class:`IndividualScheduler`.
+
+    The engine is stateless between runs and safe to reuse across batches;
+    pools are created per run and torn down before it returns.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        config: ParallelConfig | None = None,
+        *,
+        deposit_scope: str = "route",
+    ):
+        self._cm = cost_model
+        self._config = config if config is not None else ParallelConfig()
+        self._deposit_scope = deposit_scope
+        self._serial = IndividualScheduler(cost_model, deposit_scope=deposit_scope)
+
+    @property
+    def config(self) -> ParallelConfig:
+        return self._config
+
+    def run(
+        self,
+        batch: RequestBatch,
+        catalog: VideoCatalog | None = None,
+        *,
+        seeds: dict[str, tuple[ResidencyInfo, ...]] | None = None,
+    ) -> Phase1Result:
+        """Solve Phase 1 for ``batch`` and merge deterministically.
+
+        Args:
+            batch: The cycle's requests.
+            catalog: Video lookup; defaults to the cost model's catalog.
+            seeds: Optional carryover residencies per video id (rolling
+                cycles); missing ids seed empty.
+        """
+        catalog = catalog if catalog is not None else self._cm.catalog
+        seeds = seeds or {}
+        work = [
+            (catalog[video_id], tuple(requests), seeds.get(video_id, ()))
+            for video_id, requests in batch.by_video().items()
+        ]
+        cfg = self._config
+        workers = cfg.resolved_workers()
+        if cfg.backend == "serial" or len(work) < max(cfg.min_videos, 2):
+            return Phase1Result(self._run_serial(work), backend="serial")
+        shards = make_shards(work, workers * cfg.chunks_per_worker)
+        if cfg.backend == "thread":
+            schedule = self._run_threads(shards, workers)
+            return Phase1Result(schedule, backend="thread", workers=workers)
+        schedule, worker_stats = self._run_processes(shards, workers)
+        return Phase1Result(
+            schedule, cache_stats=worker_stats, backend="process", workers=workers
+        )
+
+    # -- backends ------------------------------------------------------------
+
+    def _run_serial(self, work: Shard) -> Schedule:
+        schedule = Schedule()
+        for video, requests, seed in work:
+            schedule.set_file(
+                self._serial.schedule_file(
+                    video, list(requests), initial_residencies=seed
+                )
+            )
+        return schedule
+
+    def _run_threads(self, shards: list[Shard], workers: int) -> Schedule:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(self._solve_shard_local, shards))
+        return _merge(shards, results)
+
+    def _solve_shard_local(self, shard: Shard) -> list[FileSchedule]:
+        return [
+            self._serial.schedule_file(
+                video, list(requests), initial_residencies=seed
+            )
+            for video, requests, seed in shard
+        ]
+
+    def _run_processes(
+        self, shards: list[Shard], workers: int
+    ) -> tuple[Schedule, CacheStats]:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self._cm, self._deposit_scope),
+        ) as pool:
+            outcomes = list(pool.map(_worker_solve, shards))
+        results = [files for files, _ in outcomes]
+        stats = CacheStats()
+        for _, shard_stats in outcomes:
+            stats = stats + shard_stats
+        return _merge(shards, results), stats
+
+
+def _merge(shards: list[Shard], results: list[list[FileSchedule]]) -> Schedule:
+    """Reassemble per-shard outputs in the original by-video order."""
+    schedule = Schedule()
+    for shard, files in zip(shards, results):
+        if len(shard) != len(files):  # pragma: no cover - defensive
+            raise ScheduleError(
+                f"shard returned {len(files)} schedules for {len(shard)} videos"
+            )
+        for fs in files:
+            schedule.set_file(fs)
+    return schedule

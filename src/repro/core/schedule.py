@@ -201,6 +201,20 @@ class Schedule:
         """Insert or replace the schedule of one video."""
         self._files[fs.video_id] = fs
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same videos with equal per-file schedules.
+
+        Insertion order is deliberately ignored -- two schedules holding the
+        same deliveries and residencies are the same plan however they were
+        assembled.  (Per-file delivery/residency *lists* still compare
+        ordered, as those orders are part of each file's greedy history.)
+        """
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._files == other._files
+
+    __hash__ = None  # mutable container
+
     def file(self, video_id: str) -> FileSchedule:
         try:
             return self._files[video_id]

@@ -15,12 +15,12 @@ counts, victims, relative cost increase).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.catalog.catalog import VideoCatalog
-from repro.core.costmodel import CostBreakdown, CostModel
+from repro.core.costmodel import CacheStats, CostBreakdown, CostModel
 from repro.core.heat import HeatMetric
-from repro.core.individual import IndividualScheduler
+from repro.core.parallel import ParallelConfig, ParallelIndividualScheduler
 from repro.core.schedule import Schedule
 from repro.core.sorp import ResolutionStats, resolve_overflows
 from repro.topology.graph import Topology
@@ -36,6 +36,10 @@ class ScheduleResult:
     cost: CostBreakdown
     phase1_cost: CostBreakdown
     resolution: ResolutionStats
+    #: Cost-evaluation cache activity over the whole solve (Phase 1 workers
+    #: included).  Excluded from equality: two runs that produce identical
+    #: schedules may reach them with different hit/miss mixes.
+    cache_stats: CacheStats = field(default_factory=CacheStats, compare=False)
 
     @property
     def total_cost(self) -> float:
@@ -46,6 +50,11 @@ class ScheduleResult:
     def overflow_cost_ratio(self) -> float:
         """Relative cost added by overflow resolution (Sec. 5.5)."""
         return self.resolution.cost_increase_ratio
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of Ψ evaluations served from the memoization cache."""
+        return self.cache_stats.hit_rate
 
 
 class VideoScheduler:
@@ -59,6 +68,9 @@ class VideoScheduler:
         cost_model: Optional custom Ψ (e.g. a time-of-day tariff from
             :mod:`repro.extensions.pricing`); must be built over the same
             topology and catalog.  Defaults to the flat-rate paper model.
+        parallel: Phase-1 execution plan (:class:`ParallelConfig`); ``None``
+            runs the serial loop.  Every backend produces bit-identical
+            schedules -- see :mod:`repro.core.parallel`.
     """
 
     def __init__(
@@ -68,6 +80,7 @@ class VideoScheduler:
         *,
         heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
         cost_model: CostModel | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         validate_topology(topology)
         self.topology = topology
@@ -76,15 +89,18 @@ class VideoScheduler:
         self.cost_model = (
             cost_model if cost_model is not None else CostModel(topology, catalog)
         )
-        self._phase1 = IndividualScheduler(self.cost_model)
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        self._engine = ParallelIndividualScheduler(self.cost_model, self.parallel)
 
     def solve_individual(self, batch: RequestBatch) -> Schedule:
         """Phase 1 only: capacity-ignorant per-file schedules (Table 2)."""
-        return self._phase1.solve(batch, self.catalog)
+        return self._engine.run(batch, self.catalog).schedule
 
     def solve(self, batch: RequestBatch) -> ScheduleResult:
         """Full two-phase solve: greedy + overflow resolution."""
-        phase1 = self.solve_individual(batch)
+        base_stats = self.cost_model.cache_stats
+        phase1_result = self._engine.run(batch, self.catalog)
+        phase1 = phase1_result.schedule
         phase1_cost = self.cost_model.schedule_cost(phase1)
         feasible, stats = resolve_overflows(
             phase1, batch, self.cost_model, metric=self.heat_metric
@@ -95,4 +111,6 @@ class VideoScheduler:
             cost=self.cost_model.schedule_cost(final),
             phase1_cost=phase1_cost,
             resolution=stats,
+            cache_stats=(self.cost_model.cache_stats - base_stats)
+            + phase1_result.cache_stats,
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CacheStats, CostModel
 from repro.core.heat import HeatMetric, compute_heat
 from repro.core.overflow import OverflowSituation, detect_overflows
 from repro.core.rejective import RejectiveGreedyScheduler
@@ -46,6 +46,10 @@ class ResolutionStats:
     victims: list[VictimRecord] = field(default_factory=list)
     phase1_cost: float = 0.0
     resolved_cost: float = 0.0
+    #: Cost-cache activity during resolution.  Excluded from equality so
+    #: that determinism checks compare the *decisions*, not the cache
+    #: temperature they were computed under.
+    cache_stats: CacheStats = field(default_factory=CacheStats, compare=False)
 
     @property
     def had_overflow(self) -> bool:
@@ -99,6 +103,7 @@ def resolve_overflows(
     catalog = cost_model.catalog
     topology = cost_model.topology
     working = schedule.copy()
+    cache_base = cost_model.cache_stats
     stats = ResolutionStats(phase1_cost=cost_model.total(working))
     cap = (
         max_iterations
@@ -149,6 +154,7 @@ def resolve_overflows(
         )
 
     stats.resolved_cost = cost_model.total(working)
+    stats.cache_stats = cost_model.cache_stats - cache_base
     return working, stats
 
 
@@ -170,6 +176,9 @@ def _select_victim(
     catalog = cost_model.catalog
     best_key: tuple[float, float, str] | None = None
     best: tuple[float, float, OverflowSituation, FileSchedule] | None = None
+    # the incumbent file cost is per-video, not per-(overflow, member):
+    # evaluate it once per candidate video in this selection round
+    old_costs: dict[str, float] = {}
     for of in overflows:
         for c in of.members:
             video = catalog[c.video_id]
@@ -192,7 +201,10 @@ def _select_victim(
                 background=background,
                 initial_residencies=tuple(seeds),
             )
-            old_cost = cost_model.file_cost(working.file(c.video_id)).total
+            old_cost = old_costs.get(c.video_id)
+            if old_cost is None:
+                old_cost = cost_model.file_cost(working.file(c.video_id)).total
+                old_costs[c.video_id] = old_cost
             new_cost = cost_model.file_cost(new_fs).total
             overhead = new_cost - old_cost
             heat = compute_heat(metric, c, video, of, overhead)

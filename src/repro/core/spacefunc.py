@@ -55,6 +55,20 @@ def gamma_coefficient(t_start: float, t_last: float, playback: float) -> float:
     return span / playback
 
 
+def charged_space_time(size: float, playback: float, span: float) -> float:
+    """The Eq. 2/3 amortized space-time of a residency, in byte-seconds.
+
+    ``gamma * size * (span + P/2)`` -- the integral of the Eq. 6 profile,
+    which multiplied by ``srate`` gives Ψ_C.  The value is invariant under
+    time translation: it depends on the residency only through
+    ``span = t_f - t_s`` (plus the video's ``size`` and ``P``), which is what
+    makes Ψ_C evaluations memoizable on ``(srate, size, span, P)`` tuples
+    (see :class:`repro.core.costmodel.CostModel`).
+    """
+    g = gamma_coefficient(0.0, span, playback)
+    return g * size * (span + 0.5 * playback)
+
+
 @dataclass(frozen=True)
 class LinearSegment:
     """One linear piece ``y(t) = y0 + slope * (t - start)`` on [start, end)."""

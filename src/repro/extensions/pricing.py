@@ -107,8 +107,12 @@ class DiurnalCostModel(CostModel):
         topology: Topology,
         catalog: VideoCatalog,
         tariff: TimeOfDayTariff,
+        *,
+        cache: bool = True,
     ):
-        super().__init__(topology, catalog)
+        # the memoized route rate is tariff-free (the multiplier is applied
+        # per delivery, outside the cache), so caching stays exact here too
+        super().__init__(topology, catalog, cache=cache)
         self._tariff = tariff
 
     @property

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.catalog.catalog import VideoCatalog
 from repro.core.costmodel import CostBreakdown, CostModel
 from repro.core.heat import HeatMetric
-from repro.core.individual import IndividualScheduler
+from repro.core.parallel import ParallelConfig, ParallelIndividualScheduler
 from repro.core.schedule import ResidencyInfo, Schedule
 from repro.core.sorp import ResolutionStats, resolve_overflows
 from repro.core.spacefunc import SpaceProfile
@@ -77,6 +77,7 @@ class RollingScheduler:
         *,
         heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
         cost_model: CostModel | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         validate_topology(topology)
         self.topology = topology
@@ -85,7 +86,7 @@ class RollingScheduler:
         self.cost_model = (
             cost_model if cost_model is not None else CostModel(topology, catalog)
         )
-        self._greedy = IndividualScheduler(self.cost_model)
+        self._engine = ParallelIndividualScheduler(self.cost_model, parallel)
         #: committed residencies whose occupancy outlives their cycle
         self._carryover: dict[str, list[ResidencyInfo]] = {}
         self._cycle_index = 0
@@ -124,16 +125,11 @@ class RollingScheduler:
         # Phase 1 with carryover seeding: requested carried-over titles may
         # extend their committed caches; the rest become capacity background.
         requested = set(batch.video_ids)
-        schedule = Schedule()
-        seeds: dict[str, tuple[ResidencyInfo, ...]] = {}
-        for video_id, requests in batch.by_video().items():
-            seed = tuple(self._carryover.get(video_id, ()))
-            seeds[video_id] = seed
-            schedule.set_file(
-                self._greedy.schedule_file(
-                    self.catalog[video_id], requests, initial_residencies=seed
-                )
-            )
+        seeds: dict[str, tuple[ResidencyInfo, ...]] = {
+            video_id: tuple(self._carryover.get(video_id, ()))
+            for video_id in batch.video_ids
+        }
+        schedule = self._engine.run(batch, self.catalog, seeds=seeds).schedule
         background: dict[str, list[SpaceProfile]] = {}
         for video_id, residencies in self._carryover.items():
             if video_id in requested:

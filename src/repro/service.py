@@ -23,6 +23,7 @@ from repro.billing import BillingStatement, allocate_costs
 from repro.catalog.catalog import VideoCatalog
 from repro.core.costmodel import CostBreakdown, CostModel
 from repro.core.heat import HeatMetric
+from repro.core.parallel import ParallelConfig
 from repro.errors import ScheduleError, WorkloadError
 from repro.extensions.rolling import CycleResult, RollingScheduler
 from repro.sim.validate import Violation, validate_schedule
@@ -88,6 +89,11 @@ class VORService:
         cost_model: Optional custom Ψ (e.g. a diurnal tariff).
         warehouse: Optional hierarchical-warehouse spec; when given, every
             cycle close also plans tape staging.
+        parallel: Phase-1 execution plan
+            (:class:`repro.core.parallel.ParallelConfig`): pick the
+            ``thread``/``process`` backend and worker count to fan the
+            per-video greedy across a pool.  ``None`` runs serially.
+            Results are bit-identical either way.
     """
 
     def __init__(
@@ -99,6 +105,7 @@ class VORService:
         heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
         cost_model: CostModel | None = None,
         warehouse: WarehouseSpec | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         if lead_time < 0:
             raise ScheduleError(f"lead_time must be >= 0, got {lead_time}")
@@ -113,6 +120,7 @@ class VORService:
             catalog,
             heat_metric=heat_metric,
             cost_model=self.cost_model,
+            parallel=parallel,
         )
         self._warehouse = warehouse
         self._staging_planner = (

@@ -1,0 +1,296 @@
+"""Parallel Phase-1 engine: determinism, sharding, config, and the
+mutable-state regressions the parallel path would expose.
+
+The load-bearing guarantee is *bit-identity*: every backend/worker-count
+combination must produce exactly the serial schedule, cost, and resolution
+statistics.  These tests exercise it over seeded random workloads, with and
+without carryover seeds, through both the engine and the public facades.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CostModel,
+    ParallelConfig,
+    ParallelIndividualScheduler,
+    Request,
+    RequestBatch,
+    VideoScheduler,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.core.parallel import make_shards
+from repro.core.schedule import ResidencyInfo
+from repro.errors import ScheduleError
+from repro.extensions.rolling import RollingScheduler
+
+BACKENDS = ("thread", "process")
+WORKER_COUNTS = (1, 2, 8)
+
+
+def _random_batch(seed: int, *, n_videos: int = 16, n_requests: int = 60) -> tuple:
+    """A seeded random workload on the paper topology (scaled down)."""
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(n_videos=n_videos, seed=seed)
+    rng = random.Random(seed)
+    storages = [s.name for s in topo.storages]
+    videos = list(catalog)
+    requests = [
+        Request(
+            start_time=rng.uniform(0.0, 24 * units.HOUR),
+            video_id=rng.choice(videos).video_id,
+            user_id=f"u{i}",
+            local_storage=rng.choice(storages),
+        )
+        for i in range(n_requests)
+    ]
+    return topo, catalog, RequestBatch(requests)
+
+
+@pytest.fixture(scope="module", params=(11, 23, 47))
+def workload(request):
+    return _random_batch(request.param)
+
+
+class TestDeterminism:
+    def test_engine_matches_serial_all_backends(self, workload):
+        topo, catalog, batch = workload
+        cm = CostModel(topo, catalog)
+        serial = ParallelIndividualScheduler(cm).run(batch).schedule
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS:
+                cfg = ParallelConfig(backend=backend, workers=workers)
+                engine = ParallelIndividualScheduler(CostModel(topo, catalog), cfg)
+                result = engine.run(batch)
+                assert result.backend == backend
+                assert result.workers == workers
+                assert result.schedule == serial, (backend, workers)
+
+    def test_two_phase_solve_identical(self, workload):
+        topo, catalog, batch = workload
+        serial = VideoScheduler(topo, catalog).solve(batch)
+        for backend in BACKENDS:
+            for workers in (2, 8):
+                par = VideoScheduler(
+                    topo,
+                    catalog,
+                    parallel=ParallelConfig(backend=backend, workers=workers),
+                ).solve(batch)
+                assert par.schedule == serial.schedule, (backend, workers)
+                assert par.cost == serial.cost
+                assert par.phase1_cost == serial.phase1_cost
+                # ResolutionStats equality covers iteration counts, victim
+                # records and costs (cache counters are excluded by design)
+                assert par.resolution == serial.resolution
+
+    def test_seeded_runs_identical(self, workload):
+        """Carryover-seeded Phase 1 is deterministic across backends too."""
+        topo, catalog, batch = workload
+        video_id = batch.video_ids[0]
+        storages = [s.name for s in topo.storages]
+        seeds = {
+            video_id: (
+                ResidencyInfo(
+                    video_id=video_id,
+                    location=storages[0],
+                    source=topo.warehouses[0].name,
+                    t_start=0.0,
+                    t_last=0.0,
+                ),
+            )
+        }
+        cm = CostModel(topo, catalog)
+        serial = ParallelIndividualScheduler(cm).run(batch, seeds=seeds).schedule
+        for backend in BACKENDS:
+            cfg = ParallelConfig(backend=backend, workers=2)
+            par = (
+                ParallelIndividualScheduler(CostModel(topo, catalog), cfg)
+                .run(batch, seeds=seeds)
+                .schedule
+            )
+            assert par == serial, backend
+
+    def test_rolling_cycles_identical(self, workload):
+        topo, catalog, _ = workload
+        gen = WorkloadGenerator(topo, catalog, users_per_neighborhood=4)
+        batches = [gen.generate(seed=s) for s in (1, 2)]
+
+        def run(parallel):
+            rolling = RollingScheduler(topo, catalog, parallel=parallel)
+            out = []
+            for i, b in enumerate(batches):
+                shifted = RequestBatch(
+                    Request(
+                        r.start_time + i * units.DAY,
+                        r.video_id,
+                        r.user_id,
+                        r.local_storage,
+                    )
+                    for r in b
+                )
+                out.append(
+                    rolling.schedule_cycle(
+                        shifted, cycle_end=(i + 1) * units.DAY
+                    )
+                )
+            return out
+
+        base = run(None)
+        for backend in BACKENDS:
+            cycles = run(ParallelConfig(backend=backend, workers=2))
+            for got, want in zip(cycles, base):
+                assert got.schedule == want.schedule, backend
+                assert got.cost == want.cost
+                assert got.resolution == want.resolution
+
+
+class TestCacheTransparency:
+    def test_cached_and_uncached_schedules_identical(self, workload):
+        topo, catalog, batch = workload
+        cached = VideoScheduler(topo, catalog).solve(batch)
+        uncached = VideoScheduler(
+            topo, catalog, cost_model=CostModel(topo, catalog, cache=False)
+        ).solve(batch)
+        assert cached.schedule == uncached.schedule
+        assert cached.total_cost == uncached.total_cost
+        assert uncached.cache_stats.lookups == 0
+        assert cached.cache_stats.lookups > 0
+        assert 0.0 <= cached.cache_hit_rate <= 1.0
+
+    def test_result_surfaces_cache_counters(self, workload):
+        topo, catalog, batch = workload
+        result = VideoScheduler(topo, catalog).solve(batch)
+        assert result.cache_stats.hits > 0
+        assert result.cache_stats.misses > 0
+        assert (
+            result.cache_stats.lookups
+            == result.cache_stats.hits + result.cache_stats.misses
+        )
+        # SORP's share of the activity is also reported
+        assert result.resolution.cache_stats.lookups >= 0
+
+
+class TestSharding:
+    def test_contiguous_and_balanced(self):
+        work = [(f"v{i}", (), ()) for i in range(10)]
+        shards = make_shards(work, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert [item for shard in shards for item in shard] == work
+
+    def test_more_shards_than_work(self):
+        work = [(f"v{i}", (), ()) for i in range(2)]
+        shards = make_shards(work, 8)
+        assert [len(s) for s in shards] == [1, 1]
+
+    def test_empty_work(self):
+        assert make_shards([], 4) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ScheduleError):
+            make_shards([], 0)
+
+
+class TestConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ScheduleError):
+            ParallelConfig(backend="gpu")
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ScheduleError):
+            ParallelConfig(workers=0)
+
+    def test_rejects_bad_chunking(self):
+        with pytest.raises(ScheduleError):
+            ParallelConfig(chunks_per_worker=0)
+
+    def test_resolved_workers_defaults_to_cpu_count(self):
+        assert ParallelConfig().resolved_workers() >= 1
+        assert ParallelConfig(workers=5).resolved_workers() == 5
+
+    def test_small_batches_fall_back_to_serial(self, fig2_topology, fig2_catalog, fig2_batch):
+        cfg = ParallelConfig(backend="process", workers=4, min_videos=64)
+        engine = ParallelIndividualScheduler(
+            CostModel(fig2_topology, fig2_catalog), cfg
+        )
+        result = engine.run(fig2_batch)
+        assert result.backend == "serial"
+        assert len(result.schedule.deliveries) == len(fig2_batch)
+
+    def test_empty_batch(self):
+        topo, catalog, _ = _random_batch(1)
+        engine = ParallelIndividualScheduler(
+            CostModel(topo, catalog), ParallelConfig(backend="thread", workers=2)
+        )
+        assert len(engine.run(RequestBatch()).schedule) == 0
+
+
+class TestMutableStateRegressions:
+    """The hazards a parallel/reused scheduler would expose (audit findings)."""
+
+    def test_back_to_back_batches_on_one_scheduler(self):
+        """One VideoScheduler must give the same answers as fresh ones."""
+        topo, catalog, batch_a = _random_batch(5)
+        _, _, batch_b = _random_batch(5, n_requests=40)
+        reused = VideoScheduler(topo, catalog)
+        got_a, got_b = reused.solve(batch_a), reused.solve(batch_b)
+        want_a = VideoScheduler(topo, catalog).solve(batch_a)
+        want_b = VideoScheduler(topo, catalog).solve(batch_b)
+        assert got_a.schedule == want_a.schedule
+        assert got_b.schedule == want_b.schedule
+        assert got_a.total_cost == want_a.total_cost
+        assert got_b.total_cost == want_b.total_cost
+
+    def test_back_to_back_batches_through_parallel_engine(self):
+        topo, catalog, batch_a = _random_batch(7)
+        _, _, batch_b = _random_batch(7, n_requests=30)
+        engine = ParallelIndividualScheduler(
+            CostModel(topo, catalog), ParallelConfig(backend="thread", workers=2)
+        )
+        got_a, got_b = engine.run(batch_a).schedule, engine.run(batch_b).schedule
+        cm = CostModel(topo, catalog)
+        want_a = ParallelIndividualScheduler(cm).run(batch_a).schedule
+        want_b = ParallelIndividualScheduler(CostModel(topo, catalog)).run(batch_b).schedule
+        assert got_a == want_a
+        assert got_b == want_b
+
+    def test_solve_does_not_mutate_batch(self):
+        topo, catalog, batch = _random_batch(9)
+        before = list(batch)
+        by_video_before = {k: list(v) for k, v in batch.by_video().items()}
+        VideoScheduler(topo, catalog).solve(batch)
+        assert list(batch) == before
+        assert {k: list(v) for k, v in batch.by_video().items()} == by_video_before
+
+    def test_seed_residencies_not_mutated(self):
+        """Phase 1 may extend copies of carryover seeds, never the originals."""
+        topo, catalog, batch = _random_batch(13)
+        video_id = batch.video_ids[0]
+        seed = ResidencyInfo(
+            video_id=video_id,
+            location=[s.name for s in topo.storages][0],
+            source=topo.warehouses[0].name,
+            t_start=0.0,
+            t_last=0.0,
+        )
+        seeds = {video_id: (seed,)}
+        ParallelIndividualScheduler(CostModel(topo, catalog)).run(batch, seeds=seeds)
+        assert seeds[video_id] == (seed,)
+        assert seed.t_last == 0.0 and seed.service_list == ()
+
+    def test_scheduler_internals_are_immutable(self):
+        topo, catalog, _ = _random_batch(3)
+        from repro.core.individual import IndividualScheduler
+
+        greedy = IndividualScheduler(CostModel(topo, catalog))
+        assert isinstance(greedy._warehouses, tuple)
+        assert isinstance(greedy._storage_names, frozenset)

@@ -33,6 +33,15 @@ class TestFacade:
         assert result.resolution.iterations == 0  # plenty of capacity
         assert result.overflow_cost_ratio == 0.0
 
+    def test_result_reports_cache_activity(self, fig2_topology, fig2_catalog, fig2_batch):
+        result = VideoScheduler(fig2_topology, fig2_catalog).solve(fig2_batch)
+        assert result.cache_stats.lookups > 0
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        assert (
+            result.cache_stats.lookups
+            == result.cache_stats.hits + result.cache_stats.misses
+        )
+
     def test_final_schedule_feasible(self):
         topo = Topology()
         topo.add_warehouse("VW")
