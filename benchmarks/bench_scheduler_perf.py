@@ -9,13 +9,18 @@ Also runs standalone as the parallel-scheduling speedup report::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_perf.py [--quick]
         [--videos N] [--workers N] [--backends thread,process]
+        [--json-out BENCH_phase1.json]
 
 which times Phase 1 serially and on each parallel backend over a 500-video
 batch (``--quick``: 60 videos), verifies every run is bit-identical to the
 serial schedule, and reports speedups plus cost-cache hit rates.
+``--json-out`` additionally writes the whole report as machine-readable
+JSON (per-backend wall time, speedup, cache hit rate, schedule Ψ) so CI
+can archive it as an artifact and diff runs over time.
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -142,6 +147,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=None, help="best-of-N timing (default 3/1)"
     )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the report as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     n_videos = args.videos if args.videos else (60 if args.quick else 500)
@@ -193,6 +204,43 @@ def main(argv=None) -> int:
         f"({100 * solve.cache_hit_rate:.1f}%), "
         f"SORP share {solve.resolution.cache_stats.lookups} lookups"
     )
+    if args.json_out:
+        report = {
+            "benchmark": "phase1_speedup",
+            "config": {
+                "n_videos": n_videos,
+                "n_requests": len(batch),
+                "users_per_neighborhood": users,
+                "workers": args.workers,
+                "repeats": repeats,
+                "quick": args.quick,
+            },
+            "backends": [
+                {
+                    "backend": name,
+                    "wall_time_seconds": t,
+                    "speedup": speedup,
+                    "cache_hit_rate": hit_rate,
+                }
+                for name, t, speedup, hit_rate in rows
+            ],
+            "uncached": {
+                "wall_time_seconds": uncached_t,
+                "cache_win": uncached_t / serial_t,
+            },
+            "solve": {
+                "psi_total_dollars": solve.total_cost,
+                "psi_network_dollars": solve.cost.network,
+                "psi_storage_dollars": solve.cost.storage,
+                "cache_hits": solve.cache_stats.hits,
+                "cache_lookups": solve.cache_stats.lookups,
+                "overflow_iterations": solve.resolution.iterations,
+            },
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
     return 0
 
 

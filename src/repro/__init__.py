@@ -22,11 +22,12 @@ Quickstart::
     print(f"total cost ${result.total_cost:,.2f}")
 """
 
-from repro import io, units
+from repro import io, obs, units
 from repro.billing import BillingStatement, Invoice, allocate_costs
 from repro.catalog import VideoCatalog, VideoFile, paper_catalog, uniform_catalog
 from repro.core import (
     CacheStats,
+    CacheStatsDetail,
     CostBreakdown,
     CostModel,
     DeliveryInfo,
@@ -46,6 +47,7 @@ from repro.core import (
     detect_overflows,
     resolve_overflows,
 )
+from repro.obs import NULL_OBS, Observability, RunTelemetry, configure_logging
 from repro.topology import (
     ChargingBasis,
     Router,
@@ -76,7 +78,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "io",
+    "obs",
     "units",
+    "NULL_OBS",
+    "Observability",
+    "RunTelemetry",
+    "configure_logging",
     "BillingStatement",
     "Invoice",
     "allocate_costs",
@@ -85,6 +92,7 @@ __all__ = [
     "paper_catalog",
     "uniform_catalog",
     "CacheStats",
+    "CacheStatsDetail",
     "CostBreakdown",
     "CostModel",
     "DeliveryInfo",

@@ -15,13 +15,22 @@ Usage::
 ``--quick`` swaps the Table 4 configuration for the scaled-down variant
 (same shapes, ~20x faster).  Every command prints the reproduced table and
 an ASCII rendition of the figure.
+
+Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
+schedules an environment with a live :class:`repro.obs.Observability` handle
+and writes the metric snapshot (JSON, or Prometheus text for a ``.prom``
+path) and the span log.  ``--log-level`` tunes the stderr logging of every
+``repro.*`` module (default ``info``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
+
+from repro.obs import configure_logging
 
 from repro.experiments import (
     ExperimentRunner,
@@ -48,6 +57,8 @@ _FIGURES = {
     "fig8": fig8,
     "fig9": fig9,
 }
+
+_log = logging.getLogger(__name__)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -108,6 +119,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker-pool size for --phase1-backend thread/process "
         "(default: CPU count)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error", "critical"],
+        default="info",
+        help="stderr logging verbosity for repro.* modules (default info)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metric snapshot for 'run-env' "
+        "(.json for a JSON telemetry bundle, .prom/.txt for Prometheus "
+        "text exposition)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span records as JSON Lines for 'run-env'",
+    )
     return parser
 
 
@@ -144,7 +175,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             print()
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name!r}")
-    print(f"\n[{name} completed in {time.perf_counter() - t0:.1f}s]")
+    _log.info("%s completed in %.1fs", name, time.perf_counter() - t0)
 
 
 def _write_report(args: argparse.Namespace) -> None:
@@ -172,12 +203,12 @@ def _write_report(args: argparse.Namespace) -> None:
     for name, text in artifacts.items():
         path = out / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"wrote {path}")
+        _log.info("wrote %s", path)
     index = out / "INDEX.txt"
     index.write_text(
         "\n".join(f"{k}.txt" for k in artifacts) + "\n"
     )
-    print(f"wrote {index}")
+    _log.info("wrote %s", index)
 
 
 def _run_environment(args: argparse.Namespace) -> None:
@@ -189,6 +220,8 @@ def _run_environment(args: argparse.Namespace) -> None:
     from repro.core.scheduler import VideoScheduler
     from repro.errors import ScheduleError
     from repro.io import load_environment
+    from repro.obs import NULL_OBS, Observability, write_metrics, write_trace_jsonl
+    from repro.sim.engine import SimulationEngine
 
     if not args.env_file:
         raise SystemExit("run-env requires an environment JSON path")
@@ -203,8 +236,25 @@ def _run_environment(args: argparse.Namespace) -> None:
         )
     except ScheduleError as exc:
         raise SystemExit(f"invalid phase-1 options: {exc}") from exc
-    result = VideoScheduler(topology, catalog, parallel=parallel).solve(batch)
+    want_telemetry = args.metrics_out or args.trace_out
+    obs = Observability.on() if want_telemetry else NULL_OBS
+    scheduler = VideoScheduler(topology, catalog, parallel=parallel, obs=obs)
+    result = scheduler.solve(batch)
+    if want_telemetry:
+        # replay the schedule so the snapshot carries the simulate span
+        # and the per-resource peak gauges
+        SimulationEngine(scheduler.cost_model, obs=obs).run(result.schedule)
     cm = CostModel(topology, catalog)
+    if args.metrics_out:
+        write_metrics(args.metrics_out, obs)
+        _log.info("wrote metrics snapshot to %s", args.metrics_out)
+    if args.trace_out:
+        write_trace_jsonl(args.trace_out, obs.tracer.records)
+        _log.info(
+            "wrote %d span record(s) to %s",
+            len(obs.tracer.records),
+            args.trace_out,
+        )
     print(
         format_table(
             ["quantity", "value"],
@@ -231,6 +281,7 @@ def _run_environment(args: argparse.Namespace) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     if args.experiment == "all":
         for name in ["worked-example", *sorted(_FIGURES), "table5", "gap", "ablations"]:
             print("=" * 78)

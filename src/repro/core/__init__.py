@@ -27,7 +27,13 @@ from repro.core.spacefunc import (
     gamma_coefficient,
     residency_profile,
 )
-from repro.core.costmodel import CacheStats, CostBreakdown, CostModel
+from repro.core.costmodel import (
+    CacheStats,
+    CacheStatsDetail,
+    CostBreakdown,
+    CostModel,
+    record_cache_metrics,
+)
 from repro.core.heat import HeatMetric, compute_heat
 from repro.core.overflow import OverflowSituation, detect_overflows
 from repro.core.individual import IndividualScheduler
@@ -38,7 +44,11 @@ from repro.core.parallel import (
 )
 from repro.core.rejective import RejectiveGreedyScheduler, ResidencyConstraints
 from repro.core.sorp import ResolutionStats, resolve_overflows
-from repro.core.scheduler import ScheduleResult, VideoScheduler
+from repro.core.scheduler import (
+    ScheduleResult,
+    VideoScheduler,
+    record_schedule_metrics,
+)
 
 __all__ = [
     "DeliveryInfo",
@@ -51,8 +61,11 @@ __all__ = [
     "gamma_coefficient",
     "residency_profile",
     "CacheStats",
+    "CacheStatsDetail",
     "CostBreakdown",
     "CostModel",
+    "record_cache_metrics",
+    "record_schedule_metrics",
     "ParallelConfig",
     "ParallelIndividualScheduler",
     "Phase1Result",

@@ -21,6 +21,7 @@ taking global constants.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 
@@ -62,6 +63,64 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
+class CacheStatsDetail:
+    """Per-cache breakdown of the memoization counters.
+
+    ``psi_c`` covers the Eq. 2/3 storage-cost cache, ``psi_d`` the
+    per-route network-rate cache.  Lookup *totals* per cache are
+    deterministic for a seeded batch (they count Ψ evaluations); the
+    hit/miss split depends on cache temperature and worker layout.
+    """
+
+    psi_c: CacheStats = CacheStats()
+    psi_d: CacheStats = CacheStats()
+
+    @property
+    def combined(self) -> CacheStats:
+        return self.psi_c + self.psi_d
+
+    def __add__(self, other: "CacheStatsDetail") -> "CacheStatsDetail":
+        return CacheStatsDetail(self.psi_c + other.psi_c, self.psi_d + other.psi_d)
+
+    def __sub__(self, other: "CacheStatsDetail") -> "CacheStatsDetail":
+        return CacheStatsDetail(self.psi_c - other.psi_c, self.psi_d - other.psi_d)
+
+
+def record_cache_metrics(metrics, detail: CacheStatsDetail, *, phase: str) -> None:
+    """Fold cache counters into a metrics registry under a phase label.
+
+    Ψ *evaluation* totals (``hits + misses`` per cache) are deterministic
+    for a seeded batch -- the greedy performs the same pricing sequence on
+    every backend -- so they register as comparable counters; the
+    hit/miss split depends on cache temperature and worker layout and is
+    flagged ``deterministic=False``.
+    """
+    if not metrics.enabled:
+        return
+    for cache, stats in (("psi_c", detail.psi_c), ("psi_d", detail.psi_d)):
+        metrics.counter(
+            "vor_psi_evaluations_total",
+            help="Ψ cost-term evaluations (memoization-cache lookups)",
+            cache=cache,
+            phase=phase,
+        ).inc(stats.lookups)
+        metrics.counter(
+            "vor_cost_cache_hits_total",
+            help="Cost-evaluation cache hits",
+            deterministic=False,
+            cache=cache,
+            phase=phase,
+        ).inc(stats.hits)
+        metrics.counter(
+            "vor_cost_cache_misses_total",
+            help="Cost-evaluation cache misses",
+            deterministic=False,
+            cache=cache,
+            phase=phase,
+        ).inc(stats.misses)
+
+
+@dataclass(frozen=True)
 class CostBreakdown:
     """Total schedule cost split by resource type (all in $)."""
 
@@ -95,9 +154,11 @@ class CostModel:
     The cache is transparent to subclasses: :meth:`network_multiplier` is
     applied *outside* the cached route rate, so time-of-day tariffs stay
     exact.  Instances may be shared across threads -- dict reads/writes are
-    atomic under the GIL and entries are immutable once stored; the hit/miss
-    counters may undercount slightly under concurrent mutation (they are
-    exact for serial and process-backend runs).
+    atomic under the GIL and entries are immutable once stored.  The
+    hit/miss counters would undercount under concurrent mutation, which is
+    why the thread-backend Phase-1 engine gives each shard its own
+    :meth:`worker_view` (shared caches, private counters): every backend
+    reports exact per-shard statistics.
     """
 
     def __init__(
@@ -119,8 +180,13 @@ class CostModel:
         self._psi_c_cache: dict[tuple[float, float, float, float], float] = {}
         #: route node tuple -> effective $/byte rate (before tariff)
         self._psi_d_cache: dict[tuple[str, ...], float] = {}
-        self._hits = 0
-        self._misses = 0
+        # Plain ints, one pair per cache: the Ψ_C path runs millions of
+        # times per solve, so the observability layer reads these as a
+        # view instead of putting registry calls on the hot path.
+        self._c_hits = 0
+        self._c_misses = 0
+        self._d_hits = 0
+        self._d_misses = 0
 
     @property
     def topology(self) -> Topology:
@@ -141,9 +207,27 @@ class CostModel:
         state = self.__dict__.copy()
         state["_psi_c_cache"] = {}
         state["_psi_d_cache"] = {}
-        state["_hits"] = 0
-        state["_misses"] = 0
+        state["_c_hits"] = 0
+        state["_c_misses"] = 0
+        state["_d_hits"] = 0
+        state["_d_misses"] = 0
         return state
+
+    def worker_view(self) -> "CostModel":
+        """A clone sharing this model's memoized caches with fresh counters.
+
+        Thread-backend shards each solve through their own view, so
+        per-shard hit/miss activity is attributable exactly (the shared
+        counters would otherwise interleave); cached *values* stay
+        shared, preserving the warm-cache win.  Subclasses (e.g. diurnal
+        tariffs) are preserved by the shallow copy.
+        """
+        view = copy.copy(self)
+        view._c_hits = 0
+        view._c_misses = 0
+        view._d_hits = 0
+        view._d_misses = 0
+        return view
 
     # -- cache bookkeeping ---------------------------------------------------
 
@@ -153,13 +237,25 @@ class CostModel:
 
     @property
     def cache_stats(self) -> CacheStats:
-        """Snapshot of the hit/miss counters since the last reset."""
-        return CacheStats(self._hits, self._misses)
+        """Combined hit/miss counters since the last reset (both caches)."""
+        return CacheStats(
+            self._c_hits + self._d_hits, self._c_misses + self._d_misses
+        )
+
+    @property
+    def cache_stats_detail(self) -> CacheStatsDetail:
+        """Per-cache (Ψ_C vs Ψ_D) hit/miss snapshot since the last reset."""
+        return CacheStatsDetail(
+            psi_c=CacheStats(self._c_hits, self._c_misses),
+            psi_d=CacheStats(self._d_hits, self._d_misses),
+        )
 
     def reset_cache_stats(self) -> None:
         """Zero the hit/miss counters (cached values are kept)."""
-        self._hits = 0
-        self._misses = 0
+        self._c_hits = 0
+        self._c_misses = 0
+        self._d_hits = 0
+        self._d_misses = 0
 
     def clear_cache(self) -> None:
         """Drop every memoized value (counters are kept)."""
@@ -176,9 +272,9 @@ class CostModel:
         key = (srate, size, playback, span)
         value = self._psi_c_cache.get(key)
         if value is not None:
-            self._hits += 1
+            self._c_hits += 1
             return value
-        self._misses += 1
+        self._c_misses += 1
         g = gamma_coefficient(0.0, span, playback)
         value = srate * size * g * (span + 0.5 * playback)
         if len(self._psi_c_cache) >= self._cache_limit:
@@ -191,9 +287,9 @@ class CostModel:
         if self._cache_enabled:
             value = self._psi_d_cache.get(route)
             if value is not None:
-                self._hits += 1
+                self._d_hits += 1
                 return value
-            self._misses += 1
+            self._d_misses += 1
         if (
             self._topo.charging_basis is ChargingBasis.END_TO_END
             and (explicit := self._topo.pair_rate(route[0], route[-1])) is not None

@@ -38,6 +38,7 @@ from repro.catalog.video import VideoFile
 from repro.core.costmodel import CostModel
 from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
 from repro.errors import ScheduleError
+from repro.obs import COUNT_BUCKETS, NULL_OBS, Observability
 from repro.topology.routing import Route
 from repro.workload.requests import Request, RequestBatch
 
@@ -99,6 +100,11 @@ class IndividualScheduler:
             (every traversed storage, the default) or ``"destination"``
             (only the user's local storage).  The destination-only variant
             exists for the ablation study -- it is strictly weaker.
+        obs: Observability handle (:class:`repro.obs.Observability`);
+            defaults to the inert :data:`repro.obs.NULL_OBS`.  When live,
+            every :meth:`schedule_file` call records an ``ivsp.video``
+            span plus delivery/residency counters.  Purely additive:
+            schedules are bit-identical either way.
 
     Thread-safety: with the default (stateless) route policy, one instance
     may serve concurrent :meth:`schedule_file` calls from multiple threads
@@ -116,12 +122,14 @@ class IndividualScheduler:
         route_policy=None,
         *,
         deposit_scope: str = "route",
+        obs: Observability | None = None,
     ):
         if deposit_scope not in ("route", "destination"):
             raise ScheduleError(
                 f"deposit_scope must be 'route' or 'destination', got "
                 f"{deposit_scope!r}"
             )
+        self._obs = obs if obs is not None else NULL_OBS
         self._cm = cost_model
         self._topo = cost_model.topology
         self._router = cost_model.router
@@ -154,10 +162,34 @@ class IndividualScheduler:
         are kept in the output unconditionally and may be extended by this
         cycle's requests, but never shrunk.
         """
-        session = self.session(video, initial_residencies=initial_residencies)
-        for req in sorted(requests):
-            session.serve(req)
-        return session.finish()
+        with self._obs.tracer.span(
+            "ivsp.video", video=video.video_id, requests=len(requests)
+        ) as span:
+            session = self.session(video, initial_residencies=initial_residencies)
+            for req in sorted(requests):
+                session.serve(req)
+            fs = session.finish()
+            span.set(deliveries=len(fs.deliveries), residencies=len(fs.residencies))
+        metrics = self._obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_ivsp_videos_total",
+                help="Videos solved by the Phase-1 per-file greedy",
+            ).inc()
+            metrics.counter(
+                "vor_deliveries_total",
+                help="Delivery streams committed by Phase-1 solves",
+            ).inc(len(fs.deliveries))
+            metrics.counter(
+                "vor_residencies_total",
+                help="Cache residencies committed by Phase-1 solves",
+            ).inc(len(fs.residencies))
+            metrics.histogram(
+                "vor_requests_per_video",
+                boundaries=COUNT_BUCKETS,
+                help="Requests per scheduled video",
+            ).observe(len(requests))
+        return fs
 
     def session(
         self,

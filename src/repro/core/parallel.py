@@ -20,17 +20,25 @@ Three backends are provided:
 ``serial``
     The plain loop; the default and the reference semantics.
 ``thread``
-    A :class:`~concurrent.futures.ThreadPoolExecutor` sharing one scheduler
-    and one cost model.  Router and cost-cache dictionaries are safe to
-    share under the GIL (reads/writes are atomic, entries immutable).  Wins
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Each shard solves
+    through its own :meth:`~repro.core.costmodel.CostModel.worker_view`
+    (shared memoization dictionaries, private hit/miss counters), so
+    per-shard cache statistics are exact rather than interleaved.  Wins
     when a GIL-releasing cost model or free-threaded build is in play;
     otherwise it mostly demonstrates determinism.
 ``process``
     A :class:`~concurrent.futures.ProcessPoolExecutor`; the cost model is
     shipped to each worker once via the pool initializer and shards return
     pickled :class:`~repro.core.schedule.FileSchedule` objects plus their
-    worker-side cache statistics.  This is the backend that scales Phase 1
-    across cores.
+    worker-side cache statistics, metrics registry, and trace spans.  This
+    is the backend that scales Phase 1 across cores.
+
+Observability: the engine wraps every run in an ``ivsp`` span, each
+per-video solve records an ``ivsp.video`` span (see
+:mod:`repro.core.individual`), and worker-side metrics registries merge
+back in deterministic shard order -- exactly like worker ``CacheStats``
+always have.  With the default :data:`repro.obs.NULL_OBS` nothing is
+recorded and schedules stay bit-identical.
 
 Phase 2 (overflow resolution) stays serial: it is an inherently sequential
 victim-selection loop over the *merged* schedule.
@@ -38,17 +46,26 @@ victim-selection loop over the *merged* schedule.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import VideoCatalog
 from repro.catalog.video import VideoFile
-from repro.core.costmodel import CacheStats, CostModel
+from repro.core.costmodel import (
+    CacheStats,
+    CacheStatsDetail,
+    CostModel,
+    record_cache_metrics,
+)
 from repro.core.individual import IndividualScheduler
 from repro.core.schedule import FileSchedule, ResidencyInfo, Schedule
 from repro.errors import ScheduleError
+from repro.obs import MetricsRegistry, NULL_OBS, Observability, SpanRecord
 from repro.workload.requests import Request, RequestBatch
+
+_log = logging.getLogger(__name__)
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -103,13 +120,18 @@ class Phase1Result:
     """Outcome of one Phase-1 fan-out."""
 
     schedule: Schedule
-    #: Cost-cache activity attributable to this run.  For the process
-    #: backend this aggregates the workers' counters (the caller's model
-    #: never sees their lookups); serial/thread runs hit the caller's model
-    #: directly so the same activity also shows up in its own counters.
+    #: Cost-cache activity attributable to this run, whichever backend ran
+    #: it: the caller-model delta for serial runs, the exact sum of
+    #: per-shard worker counters for thread/process runs.
     cache_stats: CacheStats = field(default_factory=CacheStats)
     backend: str = "serial"
     workers: int = 1
+    #: Per-cache (Ψ_C vs Ψ_D) breakdown of :attr:`cache_stats`.
+    detail: CacheStatsDetail = field(default_factory=CacheStatsDetail)
+    #: Per-shard combined hit/miss counters in shard order (one entry for
+    #: the whole batch on the serial path), so parallel runs report
+    #: per-worker breakdowns rather than just totals.
+    shard_stats: tuple[CacheStats, ...] = ()
 
 
 def make_shards(
@@ -140,29 +162,43 @@ def make_shards(
 
 # -- process-backend worker plumbing ----------------------------------------
 #
-# Worker processes build their scheduler once (pool initializer) and keep it
-# in a module global; shards then ship only the per-video payload.
+# Worker processes receive the cost model once (pool initializer) and keep
+# it in a module global; shards then ship only the per-video payload and
+# return their schedules plus worker-side telemetry.
 
 _WORKER: dict[str, object] = {}
 
 
-def _worker_init(cost_model: CostModel, deposit_scope: str) -> None:
+def _worker_init(cost_model: CostModel, deposit_scope: str, obs_enabled: bool) -> None:
     cost_model.reset_cache_stats()
     _WORKER["cost_model"] = cost_model
-    _WORKER["scheduler"] = IndividualScheduler(
-        cost_model, deposit_scope=deposit_scope
-    )
+    _WORKER["deposit_scope"] = deposit_scope
+    _WORKER["obs_enabled"] = obs_enabled
 
 
-def _worker_solve(shard: Shard) -> tuple[list[FileSchedule], CacheStats]:
+def _worker_solve(
+    shard: Shard,
+) -> tuple[
+    list[FileSchedule],
+    CacheStatsDetail,
+    MetricsRegistry | None,
+    tuple[SpanRecord, ...],
+]:
     cost_model: CostModel = _WORKER["cost_model"]  # type: ignore[assignment]
-    scheduler: IndividualScheduler = _WORKER["scheduler"]  # type: ignore[assignment]
-    before = cost_model.cache_stats
+    child = Observability.on() if _WORKER["obs_enabled"] else NULL_OBS
+    scheduler = IndividualScheduler(
+        cost_model,
+        deposit_scope=_WORKER["deposit_scope"],  # type: ignore[arg-type]
+        obs=child,
+    )
+    before = cost_model.cache_stats_detail
     out = [
         scheduler.schedule_file(video, list(requests), initial_residencies=seed)
         for video, requests, seed in shard
     ]
-    return out, cost_model.cache_stats - before
+    detail = cost_model.cache_stats_detail - before
+    registry = child.metrics if child.enabled else None
+    return out, detail, registry, child.tracer.records  # type: ignore[return-value]
 
 
 class ParallelIndividualScheduler:
@@ -173,6 +209,9 @@ class ParallelIndividualScheduler:
             process backend ships a pickled copy to each worker once).
         config: Backend/worker selection; ``None`` means serial.
         deposit_scope: Forwarded to :class:`IndividualScheduler`.
+        obs: Observability handle; worker-side metrics and spans merge into
+            it in deterministic shard order.  Defaults to the inert
+            :data:`repro.obs.NULL_OBS`.
 
     The engine is stateless between runs and safe to reuse across batches;
     pools are created per run and torn down before it returns.
@@ -184,11 +223,15 @@ class ParallelIndividualScheduler:
         config: ParallelConfig | None = None,
         *,
         deposit_scope: str = "route",
+        obs: Observability | None = None,
     ):
         self._cm = cost_model
         self._config = config if config is not None else ParallelConfig()
         self._deposit_scope = deposit_scope
-        self._serial = IndividualScheduler(cost_model, deposit_scope=deposit_scope)
+        self._obs = obs if obs is not None else NULL_OBS
+        self._serial = IndividualScheduler(
+            cost_model, deposit_scope=deposit_scope, obs=self._obs
+        )
 
     @property
     def config(self) -> ParallelConfig:
@@ -217,16 +260,60 @@ class ParallelIndividualScheduler:
         ]
         cfg = self._config
         workers = cfg.resolved_workers()
-        if cfg.backend == "serial" or len(work) < max(cfg.min_videos, 2):
-            return Phase1Result(self._run_serial(work), backend="serial")
-        shards = make_shards(work, workers * cfg.chunks_per_worker)
-        if cfg.backend == "thread":
-            schedule = self._run_threads(shards, workers)
-            return Phase1Result(schedule, backend="thread", workers=workers)
-        schedule, worker_stats = self._run_processes(shards, workers)
-        return Phase1Result(
-            schedule, cache_stats=worker_stats, backend="process", workers=workers
-        )
+        with self._obs.tracer.span(
+            "ivsp", videos=len(work), requests=len(batch)
+        ) as span:
+            if cfg.backend == "serial" or len(work) < max(cfg.min_videos, 2):
+                before = self._cm.cache_stats_detail
+                schedule = self._run_serial(work)
+                detail = self._cm.cache_stats_detail - before
+                result = Phase1Result(
+                    schedule,
+                    cache_stats=detail.combined,
+                    backend="serial",
+                    detail=detail,
+                    shard_stats=(detail.combined,) if work else (),
+                )
+                span.set(backend="serial", shards=len(result.shard_stats))
+            else:
+                shards = make_shards(work, workers * cfg.chunks_per_worker)
+                _log.debug(
+                    "phase-1 fan-out: %d videos over %d %s shard(s), %d workers",
+                    len(work), len(shards), cfg.backend, workers,
+                )
+                if cfg.backend == "thread":
+                    schedule, detail, shard_stats = self._run_threads(
+                        shards, workers
+                    )
+                else:
+                    schedule, detail, shard_stats = self._run_processes(
+                        shards, workers
+                    )
+                result = Phase1Result(
+                    schedule,
+                    cache_stats=detail.combined,
+                    backend=cfg.backend,
+                    workers=workers,
+                    detail=detail,
+                    shard_stats=shard_stats,
+                )
+                span.set(backend=cfg.backend, shards=len(shards))
+        metrics = self._obs.metrics
+        if metrics.enabled:
+            record_cache_metrics(metrics, result.detail, phase="ivsp")
+            metrics.counter(
+                "vor_phase1_runs_total",
+                help="Phase-1 fan-outs by executing backend",
+                deterministic=False,
+                backend=result.backend,
+            ).inc()
+            metrics.counter(
+                "vor_phase1_shards_total",
+                help="Phase-1 work shards by executing backend",
+                deterministic=False,
+                backend=result.backend,
+            ).inc(len(result.shard_stats))
+        return result
 
     # -- backends ------------------------------------------------------------
 
@@ -240,33 +327,63 @@ class ParallelIndividualScheduler:
             )
         return schedule
 
-    def _run_threads(self, shards: list[Shard], workers: int) -> Schedule:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(self._solve_shard_local, shards))
-        return _merge(shards, results)
-
-    def _solve_shard_local(self, shard: Shard) -> list[FileSchedule]:
-        return [
-            self._serial.schedule_file(
-                video, list(requests), initial_residencies=seed
+    def _run_threads(
+        self, shards: list[Shard], workers: int
+    ) -> tuple[Schedule, CacheStatsDetail, tuple[CacheStats, ...]]:
+        # One cost-model view + observability child per shard: shared
+        # memoization caches, private counters/spans, so per-shard stats
+        # are exact and merge order is the deterministic shard order.
+        views = [self._cm.worker_view() for _ in shards]
+        children = [self._obs.child() for _ in shards]
+        schedulers = [
+            IndividualScheduler(
+                view, deposit_scope=self._deposit_scope, obs=child
             )
-            for video, requests, seed in shard
+            for view, child in zip(views, children)
         ]
+
+        def solve(indexed: tuple[int, Shard]) -> list[FileSchedule]:
+            i, shard = indexed
+            return [
+                schedulers[i].schedule_file(
+                    video, list(requests), initial_residencies=seed
+                )
+                for video, requests, seed in shard
+            ]
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(solve, enumerate(shards)))
+        details = [view.cache_stats_detail for view in views]
+        for child in children:
+            self._obs.absorb(child, parent="ivsp")
+        total = CacheStatsDetail()
+        for d in details:
+            total = total + d
+        return (
+            _merge(shards, results),
+            total,
+            tuple(d.combined for d in details),
+        )
 
     def _run_processes(
         self, shards: list[Shard], workers: int
-    ) -> tuple[Schedule, CacheStats]:
+    ) -> tuple[Schedule, CacheStatsDetail, tuple[CacheStats, ...]]:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(self._cm, self._deposit_scope),
+            initargs=(self._cm, self._deposit_scope, self._obs.enabled),
         ) as pool:
             outcomes = list(pool.map(_worker_solve, shards))
-        results = [files for files, _ in outcomes]
-        stats = CacheStats()
-        for _, shard_stats in outcomes:
-            stats = stats + shard_stats
-        return _merge(shards, results), stats
+        results = [files for files, _, _, _ in outcomes]
+        total = CacheStatsDetail()
+        shard_stats = []
+        for _, detail, registry, spans in outcomes:
+            total = total + detail
+            shard_stats.append(detail.combined)
+            if registry is not None:
+                self._obs.metrics.merge(registry)
+            self._obs.tracer.absorb(spans, parent="ivsp")
+        return _merge(shards, results), total, tuple(shard_stats)
 
 
 def _merge(shards: list[Shard], results: list[list[FileSchedule]]) -> Schedule:

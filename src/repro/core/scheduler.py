@@ -10,22 +10,36 @@
 
 The returned :class:`ScheduleResult` carries the feasible schedule, its cost
 breakdown, and the Phase-1/Phase-2 statistics the paper reports (overflow
-counts, victims, relative cost increase).
+counts, victims, relative cost increase).  With a live observability handle
+(``obs=``), a solve additionally records ``solve``/``ivsp``/``sorp``/
+``overflow`` spans, Ψ-evaluation counters, and per-IS peak-storage gauges
+-- all without changing a single bit of the schedule.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import VideoCatalog
-from repro.core.costmodel import CacheStats, CostBreakdown, CostModel
+from repro.core.costmodel import (
+    CacheStats,
+    CacheStatsDetail,
+    CostBreakdown,
+    CostModel,
+    record_cache_metrics,
+)
 from repro.core.heat import HeatMetric
 from repro.core.parallel import ParallelConfig, ParallelIndividualScheduler
 from repro.core.schedule import Schedule
 from repro.core.sorp import ResolutionStats, resolve_overflows
+from repro.core.spacefunc import UsageTimeline
+from repro.obs import NULL_OBS, Observability
 from repro.topology.graph import Topology
 from repro.topology.validation import validate_topology
 from repro.workload.requests import RequestBatch
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -40,6 +54,10 @@ class ScheduleResult:
     #: included).  Excluded from equality: two runs that produce identical
     #: schedules may reach them with different hit/miss mixes.
     cache_stats: CacheStats = field(default_factory=CacheStats, compare=False)
+    #: Per-cache (Ψ_C vs Ψ_D) breakdown of :attr:`cache_stats`.
+    cache_detail: CacheStatsDetail = field(
+        default_factory=CacheStatsDetail, compare=False
+    )
 
     @property
     def total_cost(self) -> float:
@@ -57,6 +75,47 @@ class ScheduleResult:
         return self.cache_stats.hit_rate
 
 
+def record_schedule_metrics(
+    obs: Observability,
+    schedule: Schedule,
+    cost_model: CostModel,
+    *,
+    scope: str = "final",
+) -> None:
+    """Record schedule-derived gauges: per-IS peak storage and Ψ split.
+
+    Every intermediate storage gets a ``vor_storage_peak_reserved_bytes``
+    gauge (Eq. 6 reserved model, zero when unused), so capacity pressure
+    is visible per site.  All values are pure functions of the schedule
+    and therefore identical across Phase-1 backends.
+    """
+    metrics = obs.metrics
+    if not metrics.enabled:
+        return
+    catalog = cost_model.catalog
+    by_loc: dict[str, list] = {}
+    for fs in schedule:
+        video = catalog[fs.video_id]
+        for c in fs.residencies:
+            by_loc.setdefault(c.location, []).append(c.profile(video))
+    for spec in cost_model.topology.storages:
+        metrics.gauge(
+            "vor_storage_peak_reserved_bytes",
+            mode="max",
+            help="Peak reserved (Eq. 6) occupancy per intermediate storage",
+            location=spec.name,
+        ).set(UsageTimeline(by_loc.get(spec.name, [])).peak)
+    cost = cost_model.schedule_cost(schedule)
+    for component, value in (("storage", cost.storage), ("network", cost.network)):
+        metrics.gauge(
+            "vor_schedule_cost_dollars",
+            mode="last",
+            help="Ψ of the schedule by resource component",
+            component=component,
+            scope=scope,
+        ).set(value)
+
+
 class VideoScheduler:
     """End-to-end scheduler for one cycle of VOR requests.
 
@@ -71,6 +130,8 @@ class VideoScheduler:
         parallel: Phase-1 execution plan (:class:`ParallelConfig`); ``None``
             runs the serial loop.  Every backend produces bit-identical
             schedules -- see :mod:`repro.core.parallel`.
+        obs: Observability handle (:class:`repro.obs.Observability`);
+            defaults to the inert :data:`repro.obs.NULL_OBS`.
     """
 
     def __init__(
@@ -81,6 +142,7 @@ class VideoScheduler:
         heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
         cost_model: CostModel | None = None,
         parallel: ParallelConfig | None = None,
+        obs: Observability | None = None,
     ):
         validate_topology(topology)
         self.topology = topology
@@ -90,7 +152,10 @@ class VideoScheduler:
             cost_model if cost_model is not None else CostModel(topology, catalog)
         )
         self.parallel = parallel if parallel is not None else ParallelConfig()
-        self._engine = ParallelIndividualScheduler(self.cost_model, self.parallel)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._engine = ParallelIndividualScheduler(
+            self.cost_model, self.parallel, obs=self.obs
+        )
 
     def solve_individual(self, batch: RequestBatch) -> Schedule:
         """Phase 1 only: capacity-ignorant per-file schedules (Table 2)."""
@@ -98,19 +163,66 @@ class VideoScheduler:
 
     def solve(self, batch: RequestBatch) -> ScheduleResult:
         """Full two-phase solve: greedy + overflow resolution."""
-        base_stats = self.cost_model.cache_stats
-        phase1_result = self._engine.run(batch, self.catalog)
-        phase1 = phase1_result.schedule
-        phase1_cost = self.cost_model.schedule_cost(phase1)
-        feasible, stats = resolve_overflows(
-            phase1, batch, self.cost_model, metric=self.heat_metric
+        with self.obs.tracer.span("solve", requests=len(batch)) as span:
+            phase1_result = self._engine.run(batch, self.catalog)
+            # Everything after Phase 1 runs on the caller's model, so the
+            # post-phase-1 counter delta plus the engine's exact per-shard
+            # accounting covers the whole solve on every backend.
+            base_detail = self.cost_model.cache_stats_detail
+            phase1 = phase1_result.schedule
+            phase1_cost = self.cost_model.schedule_cost(phase1)
+            record_cache_metrics(
+                self.obs.metrics,
+                self.cost_model.cache_stats_detail - base_detail,
+                phase="integrate",
+            )
+            feasible, stats = resolve_overflows(
+                phase1,
+                batch,
+                self.cost_model,
+                metric=self.heat_metric,
+                obs=self.obs,
+            )
+            final = feasible.pruned()
+            pre_costing = self.cost_model.cache_stats_detail
+            final_cost = self.cost_model.schedule_cost(final)
+            record_cache_metrics(
+                self.obs.metrics,
+                self.cost_model.cache_stats_detail - pre_costing,
+                phase="costing",
+            )
+            span.set(
+                deliveries=len(final.deliveries),
+                residencies=len(final.residencies),
+                overflow_fixes=stats.iterations,
+            )
+        detail = (
+            phase1_result.detail
+            + (self.cost_model.cache_stats_detail - base_detail)
         )
-        final = feasible.pruned()
+        record_schedule_metrics(self.obs, final, self.cost_model, scope="final")
+        if self.obs.metrics.enabled:
+            self.obs.metrics.gauge(
+                "vor_schedule_cost_dollars",
+                mode="last",
+                help="Ψ of the schedule by resource component",
+                component="total",
+                scope="phase1",
+            ).set(phase1_cost.total)
+        _log.info(
+            "solved %d requests: $%.2f (%d deliveries, %d residencies, "
+            "%d overflow fixes)",
+            len(batch),
+            final_cost.total,
+            len(final.deliveries),
+            len(final.residencies),
+            stats.iterations,
+        )
         return ScheduleResult(
             schedule=final,
-            cost=self.cost_model.schedule_cost(final),
+            cost=final_cost,
             phase1_cost=phase1_cost,
             resolution=stats,
-            cache_stats=(self.cost_model.cache_stats - base_stats)
-            + phase1_result.cache_stats,
+            cache_stats=detail.combined,
+            cache_detail=detail,
         )

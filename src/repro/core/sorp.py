@@ -14,16 +14,20 @@ iteration cap guards against pathological numerical edge cases.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
-from repro.core.costmodel import CacheStats, CostModel
+from repro.core.costmodel import CacheStats, CostModel, record_cache_metrics
 from repro.core.heat import HeatMetric, compute_heat
 from repro.core.overflow import OverflowSituation, detect_overflows
 from repro.core.rejective import RejectiveGreedyScheduler
 from repro.core.schedule import FileSchedule, Schedule
 from repro.errors import OverflowResolutionError
+from repro.obs import DOLLAR_BUCKETS, NULL_OBS, Observability
 from repro.workload.requests import RequestBatch
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -77,6 +81,7 @@ def resolve_overflows(
     max_iterations: int | None = None,
     background=None,
     committed=None,
+    obs: Observability | None = None,
 ) -> tuple[Schedule, ResolutionStats]:
     """Run ``SORP_solve`` on an integrated Phase-1 schedule.
 
@@ -92,6 +97,10 @@ def resolve_overflows(
             capacity, never victimized.
         committed: Optional ``{video_id: (ResidencyInfo, ...)}`` of carryover
             residencies a victim rebuild must retain (rolling cycles).
+        obs: Observability handle; when live, the run records a ``sorp``
+            span, one ``sorp.round`` span per iteration, ``overflow``
+            spans around each detection sweep, and victim/iteration
+            counters.  Defaults to the inert :data:`repro.obs.NULL_OBS`.
 
     Returns:
         ``(feasible_schedule, stats)``.  The input schedule is left intact.
@@ -102,8 +111,9 @@ def resolve_overflows(
     """
     catalog = cost_model.catalog
     topology = cost_model.topology
+    obs = obs if obs is not None else NULL_OBS
     working = schedule.copy()
-    cache_base = cost_model.cache_stats
+    cache_base = cost_model.cache_stats_detail
     stats = ResolutionStats(phase1_cost=cost_model.total(working))
     cap = (
         max_iterations
@@ -114,47 +124,93 @@ def resolve_overflows(
     requests_by_video = batch.by_video()
     committed = committed or {}
 
-    overflows = detect_overflows(working, catalog, topology, background=background)
-    stats.initial_overflows = len(overflows)
+    with obs.tracer.span("sorp", residencies=len(working.residencies)) as sorp_span:
+        with obs.tracer.span("overflow") as detect_span:
+            overflows = detect_overflows(
+                working, catalog, topology, background=background
+            )
+            detect_span.set(overflows=len(overflows))
+        stats.initial_overflows = len(overflows)
+        if overflows:
+            _log.debug(
+                "SORP: %d initial overflow situation(s) to resolve",
+                len(overflows),
+            )
 
-    while overflows:
-        stats.iterations += 1
-        if stats.iterations > cap:
-            raise OverflowResolutionError(
-                f"storage overflow unresolved after {cap} iterations "
-                f"({len(overflows)} overflow(s) remain)"
-            )
-        victim = _select_victim(
-            overflows,
-            working,
-            cost_model,
-            rejective,
-            requests_by_video,
-            metric,
-            background,
-            committed,
-        )
-        if victim is None:
-            raise OverflowResolutionError(
-                "no reschedulable member in any overflow set"
-            )
-        heat, overhead, overflow, new_fs = victim
-        working.set_file(new_fs)
-        stats.victims.append(
-            VictimRecord(
-                video_id=new_fs.video_id,
-                location=overflow.location,
-                interval=overflow.interval,
-                heat=heat,
-                overhead_cost=overhead,
-            )
-        )
-        overflows = detect_overflows(
-            working, catalog, topology, background=background
-        )
+        while overflows:
+            stats.iterations += 1
+            if stats.iterations > cap:
+                raise OverflowResolutionError(
+                    f"storage overflow unresolved after {cap} iterations "
+                    f"({len(overflows)} overflow(s) remain)"
+                )
+            with obs.tracer.span(
+                "sorp.round", iteration=stats.iterations, overflows=len(overflows)
+            ) as round_span:
+                victim = _select_victim(
+                    overflows,
+                    working,
+                    cost_model,
+                    rejective,
+                    requests_by_video,
+                    metric,
+                    background,
+                    committed,
+                )
+                if victim is None:
+                    raise OverflowResolutionError(
+                        "no reschedulable member in any overflow set"
+                    )
+                heat, overhead, overflow, new_fs = victim
+                working.set_file(new_fs)
+                stats.victims.append(
+                    VictimRecord(
+                        video_id=new_fs.video_id,
+                        location=overflow.location,
+                        interval=overflow.interval,
+                        heat=heat,
+                        overhead_cost=overhead,
+                    )
+                )
+                round_span.set(
+                    victim=new_fs.video_id, location=overflow.location
+                )
+                with obs.tracer.span("overflow") as detect_span:
+                    overflows = detect_overflows(
+                        working, catalog, topology, background=background
+                    )
+                    detect_span.set(overflows=len(overflows))
 
-    stats.resolved_cost = cost_model.total(working)
-    stats.cache_stats = cost_model.cache_stats - cache_base
+        stats.resolved_cost = cost_model.total(working)
+        detail = cost_model.cache_stats_detail - cache_base
+        stats.cache_stats = detail.combined
+        sorp_span.set(iterations=stats.iterations, victims=len(stats.victims))
+
+    metrics = obs.metrics
+    if metrics.enabled:
+        record_cache_metrics(metrics, detail, phase="sorp")
+        metrics.counter(
+            "vor_sorp_iterations_total",
+            help="SORP victim-selection rounds",
+        ).inc(stats.iterations)
+        metrics.counter(
+            "vor_overflow_situations_total",
+            help="Overflow situations detected on the integrated schedule",
+        ).inc(stats.initial_overflows)
+        overhead_hist = metrics.histogram(
+            "vor_sorp_victim_overhead_dollars",
+            boundaries=DOLLAR_BUCKETS,
+            help="Cost overhead per committed SORP victim reschedule",
+        )
+        for record in stats.victims:
+            overhead_hist.observe(record.overhead_cost)
+    if stats.iterations:
+        _log.info(
+            "SORP resolved %d overflow(s) in %d round(s), cost +%.2f%%",
+            stats.initial_overflows,
+            stats.iterations,
+            100 * stats.cost_increase_ratio,
+        )
     return working, stats
 
 

@@ -22,6 +22,7 @@ state forward.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import VideoCatalog
@@ -29,12 +30,16 @@ from repro.core.costmodel import CostBreakdown, CostModel
 from repro.core.heat import HeatMetric
 from repro.core.parallel import ParallelConfig, ParallelIndividualScheduler
 from repro.core.schedule import ResidencyInfo, Schedule
+from repro.core.scheduler import record_schedule_metrics
 from repro.core.sorp import ResolutionStats, resolve_overflows
 from repro.core.spacefunc import SpaceProfile
 from repro.errors import ScheduleError
+from repro.obs import NULL_OBS, Observability
 from repro.topology.graph import Topology
 from repro.topology.validation import validate_topology
 from repro.workload.requests import RequestBatch
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -78,6 +83,7 @@ class RollingScheduler:
         heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
         cost_model: CostModel | None = None,
         parallel: ParallelConfig | None = None,
+        obs: Observability | None = None,
     ):
         validate_topology(topology)
         self.topology = topology
@@ -86,7 +92,10 @@ class RollingScheduler:
         self.cost_model = (
             cost_model if cost_model is not None else CostModel(topology, catalog)
         )
-        self._engine = ParallelIndividualScheduler(self.cost_model, parallel)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._engine = ParallelIndividualScheduler(
+            self.cost_model, parallel, obs=self.obs
+        )
         #: committed residencies whose occupancy outlives their cycle
         self._carryover: dict[str, list[ResidencyInfo]] = {}
         self._cycle_index = 0
@@ -122,51 +131,86 @@ class RollingScheduler:
             c for cs in self._carryover.values() for c in cs
         )
 
-        # Phase 1 with carryover seeding: requested carried-over titles may
-        # extend their committed caches; the rest become capacity background.
-        requested = set(batch.video_ids)
-        seeds: dict[str, tuple[ResidencyInfo, ...]] = {
-            video_id: tuple(self._carryover.get(video_id, ()))
-            for video_id in batch.video_ids
-        }
-        schedule = self._engine.run(batch, self.catalog, seeds=seeds).schedule
-        background: dict[str, list[SpaceProfile]] = {}
-        for video_id, residencies in self._carryover.items():
-            if video_id in requested:
-                continue  # seeded into the greedy instead
-            for c in residencies:
-                background.setdefault(c.location, []).append(
-                    c.profile(self.catalog[c.video_id])
-                )
-
-        resolved, stats = resolve_overflows(
-            schedule,
-            batch,
-            self.cost_model,
-            metric=self.heat_metric,
-            background=background,
-            committed=seeds,
-        )
-        final = resolved.pruned()
-
-        reused = self._count_reused(final, seeds)
-        credit = sum(
-            self.cost_model.residency_cost(s)
-            for seed in seeds.values()
-            for s in seed
-        )
-        self._roll_state(final, cycle_end)
-        self._last_boundary = cycle_end
-        result = CycleResult(
-            cycle_index=self._cycle_index,
-            schedule=final,
-            cost=self.cost_model.schedule_cost(final),
-            resolution=stats,
+        with self.obs.tracer.span(
+            "cycle",
+            index=self._cycle_index,
+            requests=len(batch),
             carried_in=carried_in,
-            carried_out=sum(len(v) for v in self._carryover.values()),
-            reused_carryover=reused,
-            carryover_credit=credit,
-            inherited=inherited,
+        ) as span:
+            # Phase 1 with carryover seeding: requested carried-over titles
+            # may extend their committed caches; the rest become capacity
+            # background.
+            requested = set(batch.video_ids)
+            seeds: dict[str, tuple[ResidencyInfo, ...]] = {
+                video_id: tuple(self._carryover.get(video_id, ()))
+                for video_id in batch.video_ids
+            }
+            schedule = self._engine.run(batch, self.catalog, seeds=seeds).schedule
+            background: dict[str, list[SpaceProfile]] = {}
+            for video_id, residencies in self._carryover.items():
+                if video_id in requested:
+                    continue  # seeded into the greedy instead
+                for c in residencies:
+                    background.setdefault(c.location, []).append(
+                        c.profile(self.catalog[c.video_id])
+                    )
+
+            resolved, stats = resolve_overflows(
+                schedule,
+                batch,
+                self.cost_model,
+                metric=self.heat_metric,
+                background=background,
+                committed=seeds,
+                obs=self.obs,
+            )
+            final = resolved.pruned()
+
+            reused = self._count_reused(final, seeds)
+            credit = sum(
+                self.cost_model.residency_cost(s)
+                for seed in seeds.values()
+                for s in seed
+            )
+            self._roll_state(final, cycle_end)
+            self._last_boundary = cycle_end
+            result = CycleResult(
+                cycle_index=self._cycle_index,
+                schedule=final,
+                cost=self.cost_model.schedule_cost(final),
+                resolution=stats,
+                carried_in=carried_in,
+                carried_out=sum(len(v) for v in self._carryover.values()),
+                reused_carryover=reused,
+                carryover_credit=credit,
+                inherited=inherited,
+            )
+            span.set(carried_out=result.carried_out, reused=reused)
+        record_schedule_metrics(self.obs, final, self.cost_model, scope="final")
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_cycles_total", help="Scheduling cycles closed"
+            ).inc()
+            metrics.counter(
+                "vor_carryover_in_total",
+                help="Residencies inherited from previous cycles",
+            ).inc(carried_in)
+            metrics.counter(
+                "vor_carryover_out_total",
+                help="Residencies handed to the next cycle",
+            ).inc(result.carried_out)
+            metrics.counter(
+                "vor_carryover_reused_total",
+                help="Inherited residencies extended by a later cycle",
+            ).inc(reused)
+        _log.info(
+            "cycle %d: %d request(s), $%.2f net, carryover %d in / %d out",
+            result.cycle_index,
+            len(batch),
+            result.net_total_cost,
+            carried_in,
+            result.carried_out,
         )
         self._cycle_index += 1
         return result

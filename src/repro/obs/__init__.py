@@ -1,0 +1,64 @@
+"""End-to-end observability for the VOR scheduling pipeline.
+
+Layout:
+
+* :mod:`repro.obs.metrics`   -- counters, gauges, fixed-bucket histograms;
+  deterministic merges; :class:`NullRegistry` no-op default
+* :mod:`repro.obs.trace`     -- span-based tracing (``ivsp``, ``sorp``,
+  ``overflow``, ``simulate``, ...); :class:`NullTracer` no-op default
+* :mod:`repro.obs.telemetry` -- the :class:`Observability` handle threaded
+  through the pipeline and the :class:`RunTelemetry` snapshot bundle
+* :mod:`repro.obs.export`    -- Prometheus text, JSON snapshot, JSONL trace
+* :mod:`repro.obs.logs`      -- stdlib-logging conventions + CLI configuration
+
+The metric catalog and span taxonomy are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    json_snapshot,
+    prometheus_text,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.logs import configure_logging, parse_level
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    DOLLAR_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.telemetry import NULL_OBS, Observability, RunTelemetry
+from repro.obs.trace import NullTracer, SpanRecord, Tracer, NULL_TRACER
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+    "DOLLAR_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "NULL_TRACER",
+    "NULL_OBS",
+    "Observability",
+    "RunTelemetry",
+    "configure_logging",
+    "parse_level",
+    "json_snapshot",
+    "prometheus_text",
+    "write_metrics",
+    "write_trace_jsonl",
+]

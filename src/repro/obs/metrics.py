@@ -1,0 +1,444 @@
+"""Process-worker-safe metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`).  Three design rules make it fit the scheduling
+pipeline:
+
+* **Deterministic merges.**  Histograms use *fixed* bucket boundaries
+  declared at first registration, counters are plain integer/float sums,
+  and gauges carry an explicit merge mode (``last``/``max``/``min``/
+  ``sum``).  Merging the registries returned by process-pool workers in
+  shard order therefore yields exactly the numbers a serial run records
+  (see ``tests/obs``), the same guarantee the Phase-1 engine already
+  gives for schedules.
+
+* **Determinism flags.**  Some families are *backend-invariant* for a
+  seeded batch (Ψ evaluation counts, deliveries, residencies); others --
+  cache hit/miss splits, shard counts -- legitimately depend on worker
+  layout and cache temperature.  Families register with
+  ``deterministic=False`` to be excluded from cross-backend equality
+  checks (``snapshot(deterministic_only=True)``).
+
+* **Null by default.**  :class:`NullRegistry` answers every call with a
+  shared no-op instrument, so instrumented call sites cost one method
+  call when observability is off and the Ψ_C hot path is never touched
+  at all (the cost model keeps plain ``int`` counters; see
+  ``tests/obs/test_null_overhead.py``).
+
+Registries and instruments are picklable: process workers build a fresh
+registry per shard and ship it back for merging.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Invalid metric registration, observation, or merge."""
+
+
+#: Fixed bucket boundary presets (upper bounds; ``+Inf`` is implicit).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+DOLLAR_BUCKETS: tuple[float, ...] = (0, 1, 10, 100, 1e3, 1e4, 1e5, 1e6)
+GIGABYTE = 1e9
+BYTES_BUCKETS: tuple[float, ...] = (
+    1e6, 1e7, 1e8, 1e9, 5e9, 1e10, 5e10, 1e11,
+)
+
+_GAUGE_MODES = ("last", "max", "min", "sum")
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (exact for integer increments)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _merge(self, other: "Counter") -> None:
+        self._value += other._value
+
+
+class Gauge:
+    """Point-in-time value with an explicit merge mode.
+
+    ``max``/``min`` gauges also apply their mode on :meth:`set`, so peak
+    trackers can be set repeatedly; ``last`` overwrites and ``sum``
+    accumulates.
+    """
+
+    __slots__ = ("_value", "_mode", "_touched")
+
+    def __init__(self, mode: str = "last") -> None:
+        self._mode = mode
+        self._value: float = 0.0
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        if self._touched:
+            if self._mode == "max":
+                value = max(self._value, value)
+            elif self._mode == "min":
+                value = min(self._value, value)
+            elif self._mode == "sum":
+                value = self._value + value
+        self._value = value
+        self._touched = True
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _merge(self, other: "Gauge") -> None:
+        if other._touched:
+            self.set(other._value)
+
+
+class Histogram:
+    """Fixed-boundary histogram (merge-exact bucket counts).
+
+    ``boundaries`` are inclusive upper bounds; an implicit ``+Inf``
+    bucket catches the tail.  Bucket counts are integers, so merging is
+    associative and exact; ``sum`` is a float and is exact whenever the
+    observed values are integers (which is what worker-side call sites
+    observe -- see the module docstring).
+    """
+
+    __slots__ = ("boundaries", "_counts", "_sum", "_count")
+
+    def __init__(self, boundaries: tuple[float, ...]) -> None:
+        if not boundaries:
+            raise MetricsError("histogram needs at least one bucket boundary")
+        ordered = tuple(float(b) for b in boundaries)
+        if list(ordered) != sorted(set(ordered)):
+            raise MetricsError(
+                f"bucket boundaries must be strictly increasing: {boundaries}"
+            )
+        if any(math.isnan(b) for b in ordered):
+            raise MetricsError("bucket boundaries must not be NaN")
+        self.boundaries = ordered
+        self._counts = [0] * (len(ordered) + 1)  # last slot = +Inf
+        self._sum: float = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Non-cumulative per-bucket counts keyed by upper bound."""
+        out = {_fmt_bound(b): c for b, c in zip(self.boundaries, self._counts)}
+        out["+Inf"] = self._counts[-1]
+        return out
+
+    def cumulative_counts(self) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``le`` buckets (ends at +Inf)."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for b, c in zip(self.boundaries, self._counts):
+            running += c
+            out.append((_fmt_bound(b), running))
+        out.append(("+Inf", running + self._counts[-1]))
+        return out
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.boundaries != self.boundaries:
+            raise MetricsError(
+                f"cannot merge histograms with different boundaries: "
+                f"{self.boundaries} vs {other.boundaries}"
+            )
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self._sum += other._sum
+        self._count += other._count
+
+
+def _fmt_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    if bound == int(bound) and abs(bound) < 1e15:
+        return str(int(bound))
+    return repr(bound)
+
+
+class _Family:
+    """One named metric with its labelled children."""
+
+    __slots__ = ("name", "kind", "help", "deterministic", "mode", "boundaries",
+                 "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        deterministic: bool,
+        mode: str | None = None,
+        boundaries: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.deterministic = deterministic
+        self.mode = mode
+        self.boundaries = boundaries
+        self.children: dict[LabelKey, Counter | Gauge | Histogram] = {}
+
+    def signature(self) -> tuple:
+        return (self.name, self.kind, self.mode, self.boundaries)
+
+    def child(self, key: LabelKey) -> Counter | Gauge | Histogram:
+        inst = self.children.get(key)
+        if inst is None:
+            if self.kind == "counter":
+                inst = Counter()
+            elif self.kind == "gauge":
+                inst = Gauge(self.mode or "last")
+            else:
+                inst = Histogram(self.boundaries or COUNT_BUCKETS)
+            self.children[key] = inst
+        return inst
+
+
+class MetricsRegistry:
+    """A collection of named, labelled metric families.
+
+    Instruments are created lazily on first access::
+
+        reg = MetricsRegistry()
+        reg.counter("vor_deliveries_total").inc()
+        reg.gauge("vor_storage_peak_reserved_bytes", mode="max",
+                  location="IS3").set(4.2e9)
+        reg.histogram("vor_requests_per_video",
+                      boundaries=COUNT_BUCKETS).observe(12)
+
+    Re-registering a name with a conflicting kind, gauge mode, or bucket
+    layout raises :class:`MetricsError`; re-registering compatibly
+    returns the existing child, so call sites need no setup phase.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        deterministic: bool = True,
+        **labels: Any,
+    ) -> Counter:
+        fam = self._family(name, "counter", help, deterministic)
+        return fam.child(_label_key(labels))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        *,
+        mode: str = "last",
+        help: str = "",
+        deterministic: bool = True,
+        **labels: Any,
+    ) -> Gauge:
+        if mode not in _GAUGE_MODES:
+            raise MetricsError(
+                f"gauge mode must be one of {_GAUGE_MODES}, got {mode!r}"
+            )
+        fam = self._family(name, "gauge", help, deterministic, mode=mode)
+        return fam.child(_label_key(labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        boundaries: tuple[float, ...] = COUNT_BUCKETS,
+        help: str = "",
+        deterministic: bool = True,
+        **labels: Any,
+    ) -> Histogram:
+        fam = self._family(
+            name, "histogram", help, deterministic,
+            boundaries=tuple(float(b) for b in boundaries),
+        )
+        return fam.child(_label_key(labels))  # type: ignore[return-value]
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        deterministic: bool,
+        mode: str | None = None,
+        boundaries: tuple[float, ...] | None = None,
+    ) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help, deterministic, mode, boundaries)
+            self._families[name] = fam
+            return fam
+        candidate = (name, kind, mode if kind == "gauge" else None,
+                     boundaries if kind == "histogram" else None)
+        if fam.signature() != candidate:
+            raise MetricsError(
+                f"metric {name!r} re-registered incompatibly: "
+                f"{fam.signature()} vs {candidate}"
+            )
+        if help and not fam.help:
+            fam.help = help
+        return fam
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | NullRegistry") -> None:
+        """Absorb ``other`` (e.g. a worker-shard registry) into this one."""
+        if isinstance(other, NullRegistry):
+            return
+        for name, fam in other._families.items():
+            mine = self._family(
+                name, fam.kind, fam.help, fam.deterministic,
+                fam.mode, fam.boundaries,
+            )
+            for key, child in fam.children.items():
+                mine.child(key)._merge(child)  # type: ignore[arg-type]
+
+    def families(self) -> Iterator[_Family]:
+        """Families in registration-independent (sorted-name) order."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def snapshot(self, *, deterministic_only: bool = False) -> dict:
+        """JSON-serializable dump of every family.
+
+        With ``deterministic_only=True`` the dump contains exactly the
+        families whose values are invariant across Phase-1 backends for a
+        seeded batch -- the subset the cross-backend equality tests (and
+        the PR acceptance criteria) compare.
+        """
+        out: dict[str, dict] = {}
+        for fam in self.families():
+            if deterministic_only and not fam.deterministic:
+                continue
+            values = []
+            for key in sorted(fam.children):
+                child = fam.children[key]
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if isinstance(child, Histogram):
+                    entry["buckets"] = child.bucket_counts()
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                else:
+                    entry["value"] = child.value
+                values.append(entry)
+            out[fam.name] = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "deterministic": fam.deterministic,
+                "values": values,
+            }
+        return out
+
+
+# -- the disabled-by-default null implementation ------------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    value = 0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    value = 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    count = 0
+    sum = 0.0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """No-op registry: every accessor returns a shared inert instrument.
+
+    Instrumented call sites pay one attribute lookup and one call; no
+    allocation, no bookkeeping.  ``snapshot()`` is empty and ``merge``
+    discards its argument.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **kw: Any) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **kw: Any) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **kw: Any) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def merge(self, other: object) -> None:
+        pass
+
+    def families(self) -> Iterator[_Family]:
+        return iter(())
+
+    def snapshot(self, *, deterministic_only: bool = False) -> dict:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,118 @@
+"""The observability handle threaded through the pipeline.
+
+:class:`Observability` bundles a metrics registry with a tracer and is
+what every instrumented component accepts (``obs=``).  The module-level
+:data:`NULL_OBS` -- a null registry plus a null tracer -- is the default
+everywhere, so uninstrumented callers pay near-zero cost and produce
+bit-identical schedules.
+
+Enable it explicitly::
+
+    obs = Observability.on()
+    result = VideoScheduler(topo, catalog, obs=obs).solve(batch)
+    telemetry = obs.telemetry()          # RunTelemetry snapshot
+    print(telemetry.phase_totals()["sorp"]["total_seconds"])
+
+:class:`RunTelemetry` is the export-ready snapshot: the metrics dump,
+the span list, and per-phase wall-time totals.  Cycle closes attach one
+to :class:`repro.service.CycleReport`, simulation runs to
+:class:`repro.sim.engine.SimulationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry, NULL_REGISTRY
+from repro.obs.trace import NullTracer, SpanRecord, Tracer, NULL_TRACER
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Point-in-time bundle of everything the observability layer saw."""
+
+    metrics: dict
+    spans: tuple[SpanRecord, ...] = ()
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Wall-time aggregation per span name.
+
+        Returns ``{name: {"count": n, "total_seconds": s,
+        "max_seconds": m}}`` -- the per-phase wall-time view the JSON
+        snapshot exposes (ivsp, sorp, overflow, simulate, ...).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for r in self.spans:
+            agg = out.setdefault(
+                r.name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_seconds"] += r.duration
+            agg["max_seconds"] = max(agg["max_seconds"], r.duration)
+        return dict(sorted(out.items()))
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The ``--metrics-out`` JSON snapshot layout."""
+        return {
+            "metrics": self.metrics,
+            "phases": self.phase_totals(),
+            "spans": [r.to_dict() for r in self.spans],
+        }
+
+
+class Observability:
+    """One registry + one tracer, passed down the scheduling stack."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | NullRegistry,
+        tracer: Tracer | NullTracer,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+
+    @classmethod
+    def on(cls, *, clock: Callable[[], float] | None = None) -> "Observability":
+        """A live observability handle (fresh registry + tracer)."""
+        return cls(MetricsRegistry(), Tracer(clock))
+
+    @classmethod
+    def off(cls) -> "Observability":
+        """The inert handle (shared null instruments)."""
+        return NULL_OBS
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled
+
+    def child(self) -> "Observability":
+        """A fresh handle of the same enabledness for one worker shard.
+
+        Shard solves record into their child and the engine merges the
+        children back in shard order, keeping the parent tracer's span
+        stack single-threaded.
+        """
+        if not self.enabled:
+            return NULL_OBS
+        return Observability.on()
+
+    def absorb(self, other: "Observability", *, parent: str | None = None) -> None:
+        """Merge a child handle's metrics and spans into this one."""
+        if not self.enabled or not other.enabled:
+            return
+        self.metrics.merge(other.metrics)
+        self.tracer.absorb(other.tracer.records, parent=parent)
+
+    def telemetry(self, *, deterministic_only: bool = False) -> RunTelemetry:
+        """Snapshot the current metrics + spans as a :class:`RunTelemetry`."""
+        return RunTelemetry(
+            metrics=self.metrics.snapshot(deterministic_only=deterministic_only),
+            spans=self.tracer.records,
+        )
+
+
+#: The default, inert handle.  Shared: never mutated, never records.
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER)

@@ -1,0 +1,183 @@
+"""Span-based tracing for the scheduling pipeline.
+
+A *span* is one timed region of the pipeline -- a Phase-1 solve, one
+SORP round, a simulation run -- recorded as an immutable
+:class:`SpanRecord`.  Usage::
+
+    with tracer.span("ivsp.video", video=video_id, requests=n) as span:
+        fs = scheduler.schedule_file(...)
+        span.set(deliveries=len(fs.deliveries))
+
+Spans nest: the tracer keeps an active-span stack, so each record knows
+its parent span's name.  Span *counts and attributes* are deterministic
+for a seeded batch (they describe the work graph); *durations* are wall
+time and are intentionally kept out of the metrics registry so that
+cross-backend registry equality holds bit-exactly.
+
+Worker processes and threads record into their own tracer and the
+Phase-1 engine merges the records back in shard order
+(:meth:`Tracer.absorb`), mirroring how worker cache statistics merge.
+Records shipped from another process keep their durations but their
+``start`` offsets live in that process's clock domain.
+
+:class:`NullTracer` is the default everywhere: ``span()`` returns one
+shared inert context manager, so disabled tracing costs a method call
+and never allocates per span.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start: float  # seconds since the tracer's epoch (perf_counter domain)
+    duration: float  # seconds
+    parent: str | None = None
+    attrs: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        return dict(self.attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one JSONL line in trace exports)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+            "attrs": self.attributes,
+        }
+
+
+class _ActiveSpan:
+    """Context manager that measures one region and records it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._t0 = 0.0
+        self._parent: str | None = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack
+        self._parent = stack[-1] if stack else None
+        stack.append(self._name)
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = self._tracer._clock()
+        self._tracer._stack.pop()
+        if exc_type is not None:
+            self._attrs.setdefault("error", exc_type.__name__)
+        self._tracer._records.append(
+            SpanRecord(
+                name=self._name,
+                start=self._t0 - self._tracer._epoch,
+                duration=t1 - self._t0,
+                parent=self._parent,
+                attrs=tuple(sorted(self._attrs.items())),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` instances for one run.
+
+    Args:
+        clock: Monotonic time source (seconds); injectable for
+            deterministic tests.  Defaults to :func:`time.perf_counter`.
+
+    Not thread-safe: concurrent shard solves each get their own tracer
+    (via :meth:`repro.obs.telemetry.Observability.child`) and are merged
+    afterwards in deterministic shard order.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self._records: list[SpanRecord] = []
+        self._stack: list[str] = []
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        return _ActiveSpan(self, name, attrs)
+
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        """Finished spans in completion order."""
+        return tuple(self._records)
+
+    def counts(self) -> dict[str, int]:
+        """Span count per name (deterministic for a seeded batch)."""
+        out: dict[str, int] = {}
+        for r in self._records:
+            out[r.name] = out.get(r.name, 0) + 1
+        return dict(sorted(out.items()))
+
+    def absorb(self, records: Iterable[SpanRecord], *, parent: str | None = None) -> None:
+        """Append records produced elsewhere (worker shards).
+
+        ``parent`` re-parents *root* records (those without a parent of
+        their own) under a local span name, so worker-side ``ivsp.video``
+        spans hang off the engine's ``ivsp`` span in the merged trace.
+        """
+        for r in records:
+            if parent is not None and r.parent is None:
+                r = SpanRecord(r.name, r.start, r.duration, parent, r.attrs)
+            self._records.append(r)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Inert tracer: one shared span object, records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def records(self) -> tuple[SpanRecord, ...]:
+        return ()
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    def absorb(self, records: Iterable[SpanRecord], *, parent: str | None = None) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -17,9 +17,11 @@ serving (and occupying space) into the next cycle.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.billing import BillingStatement, allocate_costs
+from repro.obs import NULL_OBS, Observability, RunTelemetry
 from repro.catalog.catalog import VideoCatalog
 from repro.core.costmodel import CostBreakdown, CostModel
 from repro.core.heat import HeatMetric
@@ -33,6 +35,8 @@ from repro.warehouse.staging import StagingPlanner, StagingReport
 from repro.workload.requests import Request, RequestBatch
 from repro import units
 
+_log = logging.getLogger(__name__)
+
 
 @dataclass
 class CycleReport:
@@ -43,6 +47,9 @@ class CycleReport:
     violations: list[Violation]
     staging: StagingReport | None = None
     rejected: list[tuple[Request, str]] = field(default_factory=list)
+    #: Telemetry snapshot taken as the cycle closed (``None`` when the
+    #: service runs with the default null observability handle).
+    telemetry: RunTelemetry | None = None
 
     @property
     def cost(self) -> CostBreakdown:
@@ -94,6 +101,12 @@ class VORService:
             ``thread``/``process`` backend and worker count to fan the
             per-video greedy across a pool.  ``None`` runs serially.
             Results are bit-identical either way.
+        obs: Observability handle (:class:`repro.obs.Observability`);
+            defaults to the inert :data:`repro.obs.NULL_OBS`.  When live,
+            every cycle close records spans (``close_cycle`` → ``cycle`` →
+            ``ivsp``/``sorp``/...), pipeline counters, and per-IS peak
+            gauges, and attaches a :class:`repro.obs.RunTelemetry`
+            snapshot to the returned report.
     """
 
     def __init__(
@@ -106,12 +119,14 @@ class VORService:
         cost_model: CostModel | None = None,
         warehouse: WarehouseSpec | None = None,
         parallel: ParallelConfig | None = None,
+        obs: Observability | None = None,
     ):
         if lead_time < 0:
             raise ScheduleError(f"lead_time must be >= 0, got {lead_time}")
         self.topology = topology
         self.catalog = catalog
         self.lead_time = lead_time
+        self.obs = obs if obs is not None else NULL_OBS
         self.cost_model = (
             cost_model if cost_model is not None else CostModel(topology, catalog)
         )
@@ -121,6 +136,7 @@ class VORService:
             heat_metric=heat_metric,
             cost_model=self.cost_model,
             parallel=parallel,
+            obs=self.obs,
         )
         self._warehouse = warehouse
         self._staging_planner = (
@@ -161,6 +177,11 @@ class VORService:
             )
         request = Request(start_time, video_id, user_id, local_storage)
         self._pending.append(request)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_reservations_total", help="Reservations accepted"
+            ).inc()
         return request
 
     def close_cycle(self, *, cycle_end: float) -> CycleReport:
@@ -173,24 +194,40 @@ class VORService:
         due = [r for r in self._pending if r.start_time <= cycle_end]
         self._pending = [r for r in self._pending if r.start_time > cycle_end]
         batch = RequestBatch(due)
+        _log.info(
+            "closing cycle at %g: %d due, %d still pending",
+            cycle_end, len(due), len(self._pending),
+        )
 
-        cycle = self._rolling.schedule_cycle(batch, cycle_end=cycle_end)
-        billing = allocate_costs(cycle.schedule, self.cost_model)
-        violations = validate_schedule(
-            cycle.schedule,
-            batch,
-            self.cost_model,
-            trusted_residencies=cycle.inherited,
-        )
-        staging = (
-            self._staging_planner.plan(cycle.schedule)
-            if self._staging_planner is not None
-            else None
-        )
+        with self.obs.tracer.span(
+            "close_cycle", requests=len(due), cycle_end=cycle_end
+        ) as span:
+            cycle = self._rolling.schedule_cycle(batch, cycle_end=cycle_end)
+            with self.obs.tracer.span("billing"):
+                billing = allocate_costs(cycle.schedule, self.cost_model)
+            with self.obs.tracer.span("validate") as vspan:
+                violations = validate_schedule(
+                    cycle.schedule,
+                    batch,
+                    self.cost_model,
+                    trusted_residencies=cycle.inherited,
+                )
+                vspan.set(violations=len(violations))
+            staging = None
+            if self._staging_planner is not None:
+                with self.obs.tracer.span("staging"):
+                    staging = self._staging_planner.plan(cycle.schedule)
+            span.set(feasible=not violations)
+        if violations:
+            _log.warning(
+                "cycle %d schedule has %d feasibility violation(s)",
+                cycle.cycle_index, len(violations),
+            )
         self._clock = cycle_end
         return CycleReport(
             cycle=cycle,
             billing=billing,
             violations=violations,
             staging=staging,
+            telemetry=self.obs.telemetry() if self.obs.enabled else None,
         )

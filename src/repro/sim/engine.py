@@ -15,14 +15,18 @@ The engine observes; it does not judge.  Feasibility checks live in
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import VideoCatalog
 from repro.core.costmodel import CostModel
 from repro.core.schedule import Schedule
 from repro.core.spacefunc import SpaceProfile, UsageTimeline, LinearSegment
+from repro.obs import NULL_OBS, Observability, RunTelemetry
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fluid import fluid_occupancy_profile
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -72,6 +76,9 @@ class SimulationReport:
     n_streams: int = 0
     n_services: int = 0
     n_residencies: int = 0
+    #: Telemetry snapshot taken as the run finished (``None`` when the
+    #: engine runs with the default null observability handle).
+    telemetry: RunTelemetry | None = None
 
     @property
     def makespan(self) -> tuple[float, float]:
@@ -82,15 +89,40 @@ class SimulationReport:
 
 
 class SimulationEngine:
-    """Replays a schedule under the fluid-flow semantics."""
+    """Replays a schedule under the fluid-flow semantics.
 
-    def __init__(self, cost_model: CostModel):
+    Args:
+        cost_model: Supplies topology + catalog.
+        obs: Observability handle; when live, each run records a
+            ``simulate`` span, per-kind event counters, and per-resource
+            peak gauges, and attaches a telemetry snapshot to the report.
+    """
+
+    def __init__(self, cost_model: CostModel, *, obs: Observability | None = None):
         self._cm = cost_model
         self._topo = cost_model.topology
         self._catalog: VideoCatalog = cost_model.catalog
+        self._obs = obs if obs is not None else NULL_OBS
 
     def run(self, schedule: Schedule) -> SimulationReport:
         """Execute ``schedule`` and return the full observation report."""
+        with self._obs.tracer.span(
+            "simulate",
+            deliveries=len(schedule.deliveries),
+            residencies=len(schedule.residencies),
+        ) as span:
+            report = self._run(schedule)
+            span.set(events=len(report.trace))
+        self._record_metrics(report)
+        if self._obs.enabled:
+            report.telemetry = self._obs.telemetry()
+        _log.debug(
+            "simulated %d event(s): %d stream(s), %d residenc(ies)",
+            len(report.trace), report.n_streams, report.n_residencies,
+        )
+        return report
+
+    def _run(self, schedule: Schedule) -> SimulationReport:
         report = SimulationReport()
         queue = EventQueue()
         link_profiles: dict[tuple[str, str], list[SpaceProfile]] = {}
@@ -178,3 +210,39 @@ class SimulationEngine:
                 capacity=self._topo.edge(*key).bandwidth,
             )
         return report
+
+    def _record_metrics(self, report: SimulationReport) -> None:
+        metrics = self._obs.metrics
+        if not metrics.enabled:
+            return
+        by_kind: dict[str, int] = {}
+        for event in report.trace:
+            by_kind[event.kind.name.lower()] = (
+                by_kind.get(event.kind.name.lower(), 0) + 1
+            )
+        for kind, count in sorted(by_kind.items()):
+            metrics.counter(
+                "vor_sim_events_total",
+                help="Simulation events replayed, by kind",
+                kind=kind,
+            ).inc(count)
+        for name, load in report.storages.items():
+            metrics.gauge(
+                "vor_storage_peak_reserved_bytes",
+                mode="max",
+                help="Peak reserved (Eq. 6) occupancy per intermediate storage",
+                location=name,
+            ).set(load.reserved_peak)
+            metrics.gauge(
+                "vor_storage_peak_fluid_bytes",
+                mode="max",
+                help="Peak fluid-model occupancy per intermediate storage",
+                location=name,
+            ).set(load.fluid_peak)
+        for (a, b), load in report.links.items():
+            metrics.gauge(
+                "vor_link_peak_bytes_per_second",
+                mode="max",
+                help="Peak concurrent bandwidth per undirected link",
+                link=f"{a}-{b}",
+            ).set(load.peak)

@@ -1,0 +1,230 @@
+"""Unit tests for the metrics registry: instruments, labels, merges."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DOLLAR_BUCKETS,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match=">= 0"):
+            reg.counter("hits_total").inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("evals_total", cache="psi_c").inc(3)
+        reg.counter("evals_total", cache="psi_d").inc(7)
+        assert reg.counter("evals_total", cache="psi_c").value == 3
+        assert reg.counter("evals_total", cache="psi_d").value == 7
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", a="1", b="2").inc()
+        assert reg.counter("x_total", b="2", a="1").value == 1
+
+
+class TestGauge:
+    def test_last_mode_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("cost")
+        g.set(5.0)
+        g.set(3.0)
+        assert g.value == 3.0
+
+    def test_max_mode_keeps_peak_on_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("peak", mode="max")
+        g.set(5.0)
+        g.set(3.0)
+        assert g.value == 5.0
+
+    def test_min_and_sum_modes(self):
+        reg = MetricsRegistry()
+        lo = reg.gauge("lo", mode="min")
+        lo.set(5.0)
+        lo.set(3.0)
+        assert lo.value == 3.0
+        acc = reg.gauge("acc", mode="sum")
+        acc.set(5.0)
+        acc.set(3.0)
+        assert acc.value == 8.0
+
+    def test_unknown_mode_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="mode"):
+            reg.gauge("g", mode="avg")
+
+    def test_untouched_gauge_does_not_clobber_on_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.gauge("peak", mode="max").set(9.0)
+        b.gauge("peak", mode="max")  # registered, never set
+        a.merge(b)
+        assert a.gauge("peak", mode="max").value == 9.0
+
+
+class TestHistogram:
+    def test_observe_buckets_by_upper_bound(self):
+        h = Histogram((1, 10, 100))
+        for v in (0.5, 1, 5, 50, 5000):
+            h.observe(v)
+        assert h.bucket_counts() == {"1": 2, "10": 1, "100": 1, "+Inf": 1}
+        assert h.count == 5
+        assert h.sum == pytest.approx(5056.5)
+
+    def test_cumulative_counts_are_prometheus_style(self):
+        h = Histogram((1, 10))
+        h.observe(0.5)
+        h.observe(5)
+        h.observe(500)
+        assert h.cumulative_counts() == [("1", 1), ("10", 2), ("+Inf", 3)]
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(MetricsError, match="increasing"):
+            Histogram((10, 1))
+        with pytest.raises(MetricsError, match="increasing"):
+            Histogram((1, 1))
+
+    def test_merge_requires_identical_boundaries(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", boundaries=COUNT_BUCKETS)
+        b.histogram("h", boundaries=DOLLAR_BUCKETS)
+        with pytest.raises(MetricsError, match="incompatibly|boundaries"):
+            a.merge(b)
+
+
+class TestRegistrySpecConflicts:
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError, match="incompatibly"):
+            reg.gauge("x")
+
+    def test_gauge_mode_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", mode="max")
+        with pytest.raises(MetricsError, match="incompatibly"):
+            reg.gauge("g", mode="last")
+
+    def test_compatible_reregistration_returns_same_child(self):
+        reg = MetricsRegistry()
+        reg.counter("x", help="first").inc()
+        reg.counter("x").inc()
+        assert reg.counter("x").value == 2
+
+
+class TestMerge:
+    @staticmethod
+    def _populated(seed: int) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("c_total", phase="ivsp").inc(seed)
+        reg.counter("c_total", phase="sorp").inc(2 * seed)
+        reg.gauge("peak", mode="max", location="IS1").set(float(seed))
+        h = reg.histogram("h", boundaries=(1, 10, 100))
+        for v in range(seed):
+            h.observe(v)
+        return reg
+
+    def test_merge_is_exact(self):
+        a = self._populated(3)
+        a.merge(self._populated(5))
+        assert a.counter("c_total", phase="ivsp").value == 8
+        assert a.counter("c_total", phase="sorp").value == 16
+        assert a.gauge("peak", mode="max", location="IS1").value == 5.0
+        assert a.histogram("h", boundaries=(1, 10, 100)).count == 8
+
+    def test_merge_is_associative(self):
+        left = self._populated(2)
+        mid_l = self._populated(3)
+        mid_l.merge(self._populated(4))
+        left.merge(mid_l)
+
+        right = self._populated(2)
+        right.merge(self._populated(3))
+        right.merge(self._populated(4))
+
+        assert left.snapshot() == right.snapshot()
+
+    def test_counter_and_histogram_merge_order_independent(self):
+        ab = self._populated(3)
+        ab.merge(self._populated(7))
+        ba = self._populated(7)
+        ba.merge(self._populated(3))
+        # max-gauges are also symmetric; 'last' gauges would not be, which
+        # is why the pipeline only merges last-gauges in deterministic order
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_null_registry_is_noop(self):
+        a = self._populated(3)
+        before = a.snapshot()
+        a.merge(NULL_REGISTRY)
+        assert a.snapshot() == before
+
+
+class TestSnapshot:
+    def test_deterministic_only_filters_families(self):
+        reg = MetricsRegistry()
+        reg.counter("work_total").inc()
+        reg.counter("cache_hits_total", deterministic=False).inc()
+        full = reg.snapshot()
+        det = reg.snapshot(deterministic_only=True)
+        assert set(full) == {"work_total", "cache_hits_total"}
+        assert set(det) == {"work_total"}
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", phase="ivsp").inc(2)
+        reg.histogram("h", boundaries=(1, 10)).observe(5)
+        dumped = json.loads(json.dumps(reg.snapshot()))
+        assert dumped["c_total"]["values"][0]["labels"] == {"phase": "ivsp"}
+        assert dumped["h"]["values"][0]["buckets"] == {"1": 0, "10": 1, "+Inf": 0}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullRegistry()
+        assert not null.enabled
+        null.counter("x").inc()
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(2.0)
+        assert null.snapshot() == {}
+        assert list(null.families()) == []
+
+    def test_shared_instruments(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b", anything="goes")
+
+
+class TestPickling:
+    def test_registry_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", phase="ivsp").inc(3)
+        reg.gauge("peak", mode="max").set(7.0)
+        reg.histogram("h", boundaries=(1, 10)).observe(5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+        # and a merged clone doubles the counters (real merge semantics)
+        reg.merge(clone)
+        assert reg.counter("c_total", phase="ivsp").value == 6

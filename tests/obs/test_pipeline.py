@@ -1,0 +1,278 @@
+"""Integration tests: observability threaded through the whole pipeline.
+
+The acceptance contract of the obs layer:
+
+* a live handle never changes a bit of any schedule;
+* deterministic metric families and span counts are identical across the
+  serial/thread/process Phase-1 backends for a seeded batch;
+* metrics merged from process workers equal the serial run counter-exact
+  and histogram-bucket-exact.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Observability,
+    ParallelConfig,
+    VideoScheduler,
+    VORService,
+    WorkloadGenerator,
+    paper_catalog,
+    paper_topology,
+    units,
+)
+from repro.core.costmodel import CostModel
+from repro.core.parallel import ParallelIndividualScheduler
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(12, seed=3)
+    batch = WorkloadGenerator(
+        topo, catalog, users_per_neighborhood=2
+    ).generate(seed=3)
+    return topo, catalog, batch
+
+
+def _solve(env, *, obs=None, backend="serial", workers=2):
+    topo, catalog, batch = env
+    parallel = (
+        None
+        if backend == "serial"
+        else ParallelConfig(backend=backend, workers=workers)
+    )
+    return VideoScheduler(
+        topo, catalog, parallel=parallel, obs=obs
+    ).solve(batch)
+
+
+class TestBitIdenticalSchedules:
+    def test_obs_on_equals_obs_off(self, env):
+        plain = _solve(env)
+        observed = _solve(env, obs=Observability.on())
+        assert observed.schedule == plain.schedule
+        assert observed.cost == plain.cost
+        assert observed.resolution.victims == plain.resolution.victims
+
+
+class TestCrossBackendDeterminism:
+    @pytest.fixture(scope="class")
+    def runs(self, env):
+        out = {}
+        for backend in ("serial", "thread", "process"):
+            obs = Observability.on()
+            out[backend] = (_solve(env, obs=obs, backend=backend), obs)
+        return out
+
+    def test_schedules_identical(self, runs):
+        serial = runs["serial"][0].schedule
+        assert runs["thread"][0].schedule == serial
+        assert runs["process"][0].schedule == serial
+
+    def test_deterministic_metric_families_identical(self, runs):
+        snaps = {
+            backend: obs.metrics.snapshot(deterministic_only=True)
+            for backend, (_, obs) in runs.items()
+        }
+        assert snaps["thread"] == snaps["serial"]
+        assert snaps["process"] == snaps["serial"]
+
+    def test_histograms_bucket_exact_across_backends(self, runs):
+        for backend in ("thread", "process"):
+            serial = runs["serial"][1].metrics.snapshot()
+            other = runs[backend][1].metrics.snapshot()
+            assert (
+                other["vor_requests_per_video"]["values"]
+                == serial["vor_requests_per_video"]["values"]
+            )
+
+    def test_span_counts_identical(self, runs):
+        counts = {
+            backend: obs.tracer.counts() for backend, (_, obs) in runs.items()
+        }
+        for backend in ("thread", "process"):
+            assert (
+                counts[backend]["ivsp.video"] == counts["serial"]["ivsp.video"]
+            )
+            assert counts[backend]["sorp"] == counts["serial"]["sorp"]
+            assert (
+                counts[backend]["sorp.round"] == counts["serial"]["sorp.round"]
+            )
+
+    def test_cache_eval_totals_deterministic(self, runs):
+        # hit/miss splits vary with worker layout, but hits+misses per
+        # (cache, phase) counts Ψ evaluations and must match exactly
+        def totals(obs):
+            snap = obs.metrics.snapshot()
+            return snap["vor_psi_evaluations_total"]["values"]
+
+        serial = totals(runs["serial"][1])
+        assert totals(runs["thread"][1]) == serial
+        assert totals(runs["process"][1]) == serial
+
+
+class TestShardStats:
+    def test_thread_shard_stats_sum_to_total(self, env):
+        topo, catalog, batch = env
+        engine = ParallelIndividualScheduler(
+            CostModel(topo, catalog),
+            ParallelConfig(backend="thread", workers=2),
+        )
+        result = engine.run(batch, catalog)
+        assert len(result.shard_stats) > 1
+        assert sum(s.hits for s in result.shard_stats) == result.cache_stats.hits
+        assert (
+            sum(s.misses for s in result.shard_stats)
+            == result.cache_stats.misses
+        )
+
+    def test_serial_run_reports_one_shard(self, env):
+        topo, catalog, batch = env
+        result = ParallelIndividualScheduler(CostModel(topo, catalog)).run(
+            batch, catalog
+        )
+        assert result.shard_stats == (result.cache_stats,)
+        assert result.cache_stats.lookups > 0
+
+
+class TestSpanTaxonomy:
+    def test_solve_spans_nest(self, env):
+        obs = Observability.on()
+        _solve(env, obs=obs)
+        by_name = {}
+        for r in obs.tracer.records:
+            by_name.setdefault(r.name, r)
+        assert by_name["solve"].parent is None
+        assert by_name["ivsp"].parent == "solve"
+        assert by_name["ivsp.video"].parent == "ivsp"
+        assert by_name["sorp"].parent == "solve"
+
+    def test_phase_totals_cover_pipeline(self, env):
+        obs = Observability.on()
+        _solve(env, obs=obs)
+        phases = obs.telemetry().phase_totals()
+        for name in ("solve", "ivsp", "ivsp.video", "sorp", "overflow"):
+            assert phases[name]["count"] >= 1
+            assert phases[name]["total_seconds"] >= 0.0
+
+
+class TestReportTelemetry:
+    def test_cycle_report_attaches_telemetry(self, env):
+        topo, catalog, _ = env
+        obs = Observability.on()
+        svc = VORService(topo, catalog, lead_time=0.0, obs=obs)
+        svc.reserve("alice", "video0001", 5 * units.HOUR, local_storage="IS3")
+        report = svc.close_cycle(cycle_end=units.DAY)
+        assert report.telemetry is not None
+        phases = report.telemetry.phase_totals()
+        assert phases["close_cycle"]["count"] == 1
+        for name in ("cycle", "ivsp", "billing", "validate"):
+            assert name in phases
+        assert (
+            report.telemetry.metrics["vor_reservations_total"]["values"][0][
+                "value"
+            ]
+            == 1
+        )
+
+    def test_cycle_report_telemetry_none_by_default(self, env):
+        topo, catalog, _ = env
+        svc = VORService(topo, catalog, lead_time=0.0)
+        svc.reserve("alice", "video0001", 5 * units.HOUR, local_storage="IS3")
+        report = svc.close_cycle(cycle_end=units.DAY)
+        assert report.telemetry is None
+
+    def test_simulation_report_telemetry(self, env):
+        topo, catalog, batch = env
+        result = _solve(env)
+        obs = Observability.on()
+        engine = SimulationEngine(CostModel(topo, catalog), obs=obs)
+        report = engine.run(result.schedule)
+        assert report.telemetry is not None
+        assert report.telemetry.phase_totals()["simulate"]["count"] == 1
+        snap = report.telemetry.metrics
+        assert "vor_sim_events_total" in snap
+        locations = {
+            entry["labels"]["location"]
+            for entry in snap["vor_storage_peak_reserved_bytes"]["values"]
+        }
+        assert locations == {s.name for s in topo.storages}
+
+
+class TestCliTelemetry:
+    @pytest.fixture
+    def env_file(self, env, tmp_path):
+        from repro.io import save_environment
+
+        topo, catalog, batch = env
+        path = tmp_path / "env.json"
+        save_environment(path, topology=topo, catalog=catalog, batch=batch)
+        return path
+
+    def test_metrics_and_trace_out(self, env_file, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "run-env",
+                    str(env_file),
+                    "--metrics-out",
+                    str(metrics_path),
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(metrics_path.read_text())
+        # per-phase wall-time spans, incl. the simulator replay
+        for phase in ("ivsp", "sorp", "overflow", "simulate", "solve"):
+            assert phase in doc["phases"], phase
+            assert doc["phases"][phase]["total_seconds"] >= 0.0
+        # Ψ evaluation counters split by cache, cache hit/miss series
+        assert "vor_psi_evaluations_total" in doc["metrics"]
+        caches = {
+            entry["labels"]["cache"]
+            for entry in doc["metrics"]["vor_psi_evaluations_total"]["values"]
+        }
+        assert caches == {"psi_c", "psi_d"}
+        assert "vor_cost_cache_hits_total" in doc["metrics"]
+        assert "vor_cost_cache_misses_total" in doc["metrics"]
+        # per-IS peak storage gauges
+        gauges = doc["metrics"]["vor_storage_peak_reserved_bytes"]["values"]
+        assert {e["labels"]["location"] for e in gauges} >= {"IS1", "IS2"}
+        # trace is one JSON object per line
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert any(r["name"] == "ivsp.video" for r in records)
+
+    def test_prometheus_suffix(self, env_file, tmp_path, capsys):
+        from repro.cli import main
+
+        prom_path = tmp_path / "metrics.prom"
+        assert (
+            main(["run-env", str(env_file), "--metrics-out", str(prom_path)])
+            == 0
+        )
+        text = prom_path.read_text()
+        assert "# TYPE vor_deliveries_total counter" in text
+        assert "vor_schedule_cost_dollars" in text
+
+    def test_no_flags_no_files(self, env_file, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run-env", str(env_file)]) == 0
+        assert not (tmp_path / "metrics.json").exists()
+        assert not (tmp_path / "trace.jsonl").exists()
