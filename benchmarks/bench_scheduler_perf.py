@@ -17,6 +17,12 @@ serial schedule, and reports speedups plus cost-cache hit rates.
 ``--json-out`` additionally writes the whole report as machine-readable
 JSON (per-backend wall time, speedup, cache hit rate, schedule Ψ) so CI
 can archive it as an artifact and diff runs over time.
+
+``--compare BASELINE.json`` checks the run against a committed baseline
+report (see ``benchmarks/BENCH_phase1.json``): the deterministic outputs
+(Ψ totals, overflow iterations) must match bit-for-bit and the
+configurations must agree, else the process exits 2.  Wall-clock numbers
+are printed for context but never gate -- they depend on the machine.
 """
 
 import argparse
@@ -103,6 +109,53 @@ def test_bench_usage_timeline_sweep(benchmark):
 # -- standalone speedup report ------------------------------------------------
 
 
+#: Baseline keys that must match bit-for-bit: pure functions of the seeded
+#: workload, independent of machine and backend.
+_DETERMINISTIC_SOLVE_KEYS = (
+    "psi_total_dollars",
+    "psi_network_dollars",
+    "psi_storage_dollars",
+    "overflow_iterations",
+)
+#: Config keys that define the workload a baseline was taken against.
+_CONFIG_KEYS = ("n_videos", "n_requests", "users_per_neighborhood", "quick")
+
+
+def compare_reports(baseline: dict, current: dict) -> list[str]:
+    """Differences between a baseline report and the current run.
+
+    Returns human-readable mismatch lines (empty = pass).  Only
+    deterministic quantities gate: schedule Ψ (total/network/storage) and
+    SORP iteration count, after checking the two runs solved the same
+    workload.  Timing fields are ignored.
+    """
+    problems: list[str] = []
+    if baseline.get("benchmark") != current.get("benchmark"):
+        problems.append(
+            f"benchmark name differs: baseline "
+            f"{baseline.get('benchmark')!r} vs {current.get('benchmark')!r}"
+        )
+        return problems
+    b_cfg, c_cfg = baseline.get("config", {}), current.get("config", {})
+    for key in _CONFIG_KEYS:
+        if b_cfg.get(key) != c_cfg.get(key):
+            problems.append(
+                f"config.{key} differs: baseline {b_cfg.get(key)!r} vs "
+                f"{c_cfg.get(key)!r} (re-record the baseline or rerun with "
+                "matching flags)"
+            )
+    if problems:
+        return problems
+    b_solve, c_solve = baseline.get("solve", {}), current.get("solve", {})
+    for key in _DETERMINISTIC_SOLVE_KEYS:
+        if b_solve.get(key) != c_solve.get(key):
+            problems.append(
+                f"solve.{key} regressed: baseline {b_solve.get(key)!r} vs "
+                f"{c_solve.get(key)!r}"
+            )
+    return problems
+
+
 def _build_env(n_videos: int, users: int):
     topo = paper_topology(
         nrate=units.per_gb(500),
@@ -152,6 +205,13 @@ def main(argv=None) -> int:
         default=None,
         metavar="PATH",
         help="also write the report as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="diff the deterministic outputs (psi, overflow iterations) "
+        "against a committed baseline report; exit 2 on mismatch",
     )
     args = parser.parse_args(argv)
 
@@ -204,7 +264,7 @@ def main(argv=None) -> int:
         f"({100 * solve.cache_hit_rate:.1f}%), "
         f"SORP share {solve.resolution.cache_stats.lookups} lookups"
     )
-    if args.json_out:
+    if args.json_out or args.compare:
         report = {
             "benchmark": "phase1_speedup",
             "config": {
@@ -237,10 +297,25 @@ def main(argv=None) -> int:
                 "overflow_iterations": solve.resolution.iterations,
             },
         }
-        with open(args.json_out, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.json_out}")
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json_out}")
+        if args.compare:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+            problems = compare_reports(baseline, report)
+            if problems:
+                print(f"\nbaseline comparison vs {args.compare}: FAIL")
+                for p in problems:
+                    print(f"  {p}")
+                return 2
+            print(
+                f"\nbaseline comparison vs {args.compare}: OK "
+                f"(psi ${report['solve']['psi_total_dollars']:,.2f}, "
+                f"{report['solve']['overflow_iterations']} overflow fixes)"
+            )
     return 0
 
 

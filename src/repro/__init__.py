@@ -47,6 +47,16 @@ from repro.core import (
     detect_overflows,
     resolve_overflows,
 )
+from repro.faults import (
+    ContingencyScheduler,
+    DegradedModeReport,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RecoveryResult,
+    build_degraded_report,
+    masked_topology,
+)
 from repro.obs import NULL_OBS, Observability, RunTelemetry, configure_logging
 from repro.topology import (
     ChargingBasis,
@@ -111,6 +121,14 @@ __all__ = [
     "VideoScheduler",
     "detect_overflows",
     "resolve_overflows",
+    "ContingencyScheduler",
+    "DegradedModeReport",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryResult",
+    "build_degraded_report",
+    "masked_topology",
     "ChargingBasis",
     "Router",
     "Topology",

@@ -11,10 +11,20 @@ Usage::
     vor-repro all [--quick]
     vor-repro report [--quick] [--out DIR]
     vor-repro run-env ENV.json     # schedule an environment file from disk
+    vor-repro simulate ENV.json    # schedule + replay + feasibility verdict
+    vor-repro run-faults ENV.json --scenario f.json   # fault drill + recovery
 
 ``--quick`` swaps the Table 4 configuration for the scaled-down variant
 (same shapes, ~20x faster).  Every command prints the reproduced table and
 an ASCII rendition of the figure.
+
+``run-env`` and ``simulate`` validate the solved schedule end-to-end; any
+:class:`~repro.sim.validate.Violation` is printed and the process exits
+non-zero.  ``run-faults`` injects a fault scenario (``--scenario`` JSON, or
+seeded generation via ``--seed``/``--scenario-out``), prints the
+degraded-mode damage and the contingency recovery, optionally writes the
+machine-readable report (``--report-out``), and exits non-zero when the
+patched schedule fails validation on the fault-masked topology.
 
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
@@ -81,15 +91,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "all",
             "report",
             "run-env",
+            "simulate",
+            "run-faults",
         ],
         help="which paper artifact to reproduce ('report' writes all of "
-        "them to --out; 'run-env' schedules an environment JSON)",
+        "them to --out; 'run-env'/'simulate'/'run-faults' schedule an "
+        "environment JSON)",
     )
     parser.add_argument(
         "env_file",
         nargs="?",
         default=None,
-        help="environment JSON for the 'run-env' command",
+        help="environment JSON for the 'run-env'/'simulate'/'run-faults' "
+        "commands",
     )
     parser.add_argument(
         "--quick",
@@ -138,6 +152,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the run's span records as JSON Lines for 'run-env'",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="PATH",
+        help="fault-plan JSON for 'run-faults' (omit to generate a seeded "
+        "scenario from --seed)",
+    )
+    parser.add_argument(
+        "--scenario-out",
+        default=None,
+        metavar="PATH",
+        help="write the (possibly generated) fault plan as JSON",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the degraded-mode + recovery report as JSON for "
+        "'run-faults'",
+    )
+    parser.add_argument(
+        "--n-faults",
+        type=int,
+        default=3,
+        metavar="N",
+        help="faults to draw when generating a scenario (default 3)",
     )
     return parser
 
@@ -211,20 +252,16 @@ def _write_report(args: argparse.Namespace) -> None:
     _log.info("wrote %s", index)
 
 
-def _run_environment(args: argparse.Namespace) -> None:
-    """Schedule an environment file from disk and print the outcome."""
-    from repro.analysis import format_table
-    from repro.baselines import network_only_cost
-    from repro.core.costmodel import CostModel
+def _solve_environment(args: argparse.Namespace, command: str):
+    """Load an environment file and solve it: shared by the env commands."""
     from repro.core.parallel import ParallelConfig
     from repro.core.scheduler import VideoScheduler
     from repro.errors import ScheduleError
     from repro.io import load_environment
-    from repro.obs import NULL_OBS, Observability, write_metrics, write_trace_jsonl
-    from repro.sim.engine import SimulationEngine
+    from repro.obs import NULL_OBS, Observability
 
     if not args.env_file:
-        raise SystemExit("run-env requires an environment JSON path")
+        raise SystemExit(f"{command} requires an environment JSON path")
     topology, catalog, batch = load_environment(args.env_file)
     if batch is None:
         raise SystemExit(
@@ -236,15 +273,22 @@ def _run_environment(args: argparse.Namespace) -> None:
         )
     except ScheduleError as exc:
         raise SystemExit(f"invalid phase-1 options: {exc}") from exc
-    want_telemetry = args.metrics_out or args.trace_out
+    want_telemetry = bool(args.metrics_out or args.trace_out)
     obs = Observability.on() if want_telemetry else NULL_OBS
     scheduler = VideoScheduler(topology, catalog, parallel=parallel, obs=obs)
     result = scheduler.solve(batch)
-    if want_telemetry:
-        # replay the schedule so the snapshot carries the simulate span
-        # and the per-resource peak gauges
-        SimulationEngine(scheduler.cost_model, obs=obs).run(result.schedule)
-    cm = CostModel(topology, catalog)
+    return topology, catalog, batch, scheduler, result, obs, want_telemetry
+
+
+def _print_violations(violations) -> None:
+    print(f"INFEASIBLE: {len(violations)} violation(s)")
+    for v in violations:
+        print(f"  {v}")
+
+
+def _write_telemetry(args: argparse.Namespace, obs) -> None:
+    from repro.obs import write_metrics, write_trace_jsonl
+
     if args.metrics_out:
         write_metrics(args.metrics_out, obs)
         _log.info("wrote metrics snapshot to %s", args.metrics_out)
@@ -255,6 +299,31 @@ def _run_environment(args: argparse.Namespace) -> None:
             len(obs.tracer.records),
             args.trace_out,
         )
+
+
+def _run_environment(args: argparse.Namespace) -> int:
+    """Schedule an environment file from disk and print the outcome.
+
+    Returns a non-zero exit code (printing every
+    :class:`~repro.sim.validate.Violation`) when the solved schedule fails
+    end-to-end validation.
+    """
+    from repro.analysis import format_table
+    from repro.baselines import network_only_cost
+    from repro.core.costmodel import CostModel
+    from repro.obs import NULL_OBS
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.validate import validate_schedule
+
+    topology, catalog, batch, scheduler, result, obs, want_telemetry = (
+        _solve_environment(args, "run-env")
+    )
+    if want_telemetry:
+        # replay the schedule so the snapshot carries the simulate span
+        # and the per-resource peak gauges
+        SimulationEngine(scheduler.cost_model, obs=obs).run(result.schedule)
+    cm = CostModel(topology, catalog)
+    _write_telemetry(args, obs)
     print(
         format_table(
             ["quantity", "value"],
@@ -277,6 +346,160 @@ def _run_environment(args: argparse.Namespace) -> None:
             title=f"schedule for {args.env_file}",
         )
     )
+    violations = validate_schedule(result.schedule, batch, scheduler.cost_model)
+    if violations:
+        _print_violations(violations)
+        return 1
+    return 0
+
+
+def _simulate_environment(args: argparse.Namespace) -> int:
+    """Schedule, replay, and judge an environment file.
+
+    Prints the replay's event/peak statistics and the feasibility verdict;
+    exits non-zero with every violation listed when the schedule is
+    infeasible.
+    """
+    from repro.analysis import format_table
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.validate import validate_schedule
+
+    _, _, batch, scheduler, result, obs, _ = _solve_environment(
+        args, "simulate"
+    )
+    report = SimulationEngine(scheduler.cost_model, obs=obs).run(
+        result.schedule
+    )
+    _write_telemetry(args, obs)
+    t0, t1 = report.makespan
+    peak_storage = max(
+        (load.reserved_peak for load in report.storages.values()), default=0.0
+    )
+    peak_link = max((load.peak for load in report.links.values()), default=0.0)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["requests", len(batch)],
+                ["events replayed", len(report.trace)],
+                ["streams", report.n_streams],
+                ["residencies", report.n_residencies],
+                ["makespan (s)", t1 - t0],
+                ["peak reserved storage (bytes)", peak_storage],
+                ["peak link bandwidth (B/s)", peak_link],
+                ["total cost ($)", result.total_cost],
+            ],
+            title=f"simulation of {args.env_file}",
+        )
+    )
+    violations = validate_schedule(result.schedule, batch, scheduler.cost_model)
+    if violations:
+        _print_violations(violations)
+        return 1
+    print("feasible: no violations")
+    return 0
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    """Fault drill: inject a scenario, report damage, recover, re-validate.
+
+    Returns non-zero when the patched schedule fails validation on the
+    fault-masked topology (the recovery contract), printing the violations.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis import format_table
+    from repro.core.costmodel import CostModel
+    from repro.core.parallel import ParallelConfig
+    from repro.faults.contingency import ContingencyScheduler
+    from repro.faults.inject import masked_topology
+    from repro.faults.plan import FaultPlan
+    from repro.faults.report import build_degraded_report
+    from repro.sim.validate import validate_schedule
+    from repro.workload.requests import RequestBatch
+
+    topology, catalog, batch, scheduler, result, obs, _ = _solve_environment(
+        args, "run-faults"
+    )
+    if args.scenario:
+        plan = FaultPlan.load(args.scenario)
+        _log.info("loaded %d fault(s) from %s", len(plan), args.scenario)
+    else:
+        t0, t1 = batch.span
+        tail = max(v.playback for v in catalog)
+        plan = FaultPlan.generate(
+            topology,
+            seed=args.seed,
+            horizon=(t0, t1 + tail),
+            n_faults=args.n_faults,
+        )
+        _log.info("generated %d fault(s) from seed %d", len(plan), args.seed)
+    if args.scenario_out:
+        plan.save(args.scenario_out)
+        _log.info("wrote fault scenario to %s", args.scenario_out)
+
+    degraded = build_degraded_report(
+        result.schedule, scheduler.cost_model, plan, obs=obs
+    )
+    recovery = ContingencyScheduler(
+        scheduler.cost_model,
+        parallel=ParallelConfig(
+            backend=args.phase1_backend, workers=args.phase1_workers
+        ),
+        obs=obs,
+    ).recover(result.schedule, plan, batch=batch)
+    _write_telemetry(args, obs)
+
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["faults injected", len(plan)],
+                ["requests", len(batch)],
+                ["requests dropped (degraded)", degraded.requests_dropped],
+                ["requests late (degraded)", degraded.requests_late],
+                ["stranded residencies", len(degraded.stranded)],
+                ["impacted videos", recovery.videos_resolved],
+                ["requests saved", recovery.requests_saved],
+                ["requests lost", recovery.requests_lost],
+                ["psi before ($)", recovery.cost_before.total],
+                ["psi after ($)", recovery.cost_after.total],
+                ["psi delta ($)", recovery.cost_delta],
+                [
+                    "recovery overflow fixes",
+                    0
+                    if recovery.resolution is None
+                    else recovery.resolution.iterations,
+                ],
+                ["phase-1 backend", args.phase1_backend],
+            ],
+            title=f"fault drill for {args.env_file} [{plan.name or 'scenario'}]",
+        )
+    )
+
+    masked_cm = CostModel(masked_topology(topology, plan), catalog)
+    lost = set(recovery.lost)
+    surviving = RequestBatch(r for r in batch if r not in lost)
+    violations = validate_schedule(recovery.schedule, surviving, masked_cm)
+    if args.report_out:
+        doc = {
+            "environment": str(args.env_file),
+            "degraded": degraded.to_json_dict(),
+            "recovery": recovery.to_json_dict(),
+            "patched_violations": [
+                {"kind": v.kind, "message": v.message} for v in violations
+            ],
+        }
+        pathlib.Path(args.report_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        _log.info("wrote fault report to %s", args.report_out)
+    if violations:
+        _print_violations(violations)
+        return 1
+    print("recovery feasible: patched schedule valid on masked topology")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -290,7 +513,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "report":
         _write_report(args)
     elif args.experiment == "run-env":
-        _run_environment(args)
+        return _run_environment(args)
+    elif args.experiment == "simulate":
+        return _simulate_environment(args)
+    elif args.experiment == "run-faults":
+        return _run_faults(args)
     else:
         _run_one(args.experiment, args)
     return 0

@@ -49,3 +49,7 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency while executing."""
+
+
+class FaultError(ReproError):
+    """Malformed fault scenario, or a fault leaves the system unrecoverable."""

@@ -215,6 +215,71 @@ class RollingScheduler:
         self._cycle_index += 1
         return result
 
+    def amend_cycle(self, result: CycleResult, plan, *, batch=None):
+        """Re-solve the last closed cycle around an active fault plan.
+
+        Runs the :class:`~repro.faults.contingency.ContingencyScheduler`
+        over ``result.schedule`` and re-rolls the carryover state from the
+        patched schedule: entries of re-solved videos are re-derived,
+        entries stranded at failed storages are dropped (their cached copy
+        is gone), everything else carries forward untouched.
+
+        Args:
+            result: The :class:`CycleResult` of the cycle to amend (must be
+                the most recently closed cycle -- the carryover state rolls
+                from it).
+            plan: The active :class:`~repro.faults.plan.FaultPlan`.
+            batch: The cycle's request batch; reconstructed from the
+                schedule's deliveries when omitted.
+
+        Returns:
+            The :class:`~repro.faults.contingency.RecoveryResult`; its
+            ``schedule`` is the patched plan for the amended cycle.
+        """
+        from repro.faults.contingency import ContingencyScheduler
+        from repro.faults.inject import combined_effects
+
+        if self._cycle_index == 0:
+            raise ScheduleError("no cycle has been closed yet: nothing to amend")
+        contingency = ContingencyScheduler(
+            self.cost_model,
+            heat_metric=self.heat_metric,
+            parallel=self._engine.config,
+            obs=self.obs,
+        )
+        recovery = contingency.recover(result.schedule, plan, batch=batch)
+        effects = combined_effects(self.topology, plan)
+        impacted = set(recovery.impacted)
+        boundary = self._last_boundary
+        new_carry: dict[str, list[ResidencyInfo]] = {}
+        for video_id, residencies in self._carryover.items():
+            if video_id in impacted:
+                continue  # re-derived from the patched schedule below
+            kept = [c for c in residencies if c.location not in effects.down_nodes]
+            if kept:
+                new_carry[video_id] = kept
+        for video_id in impacted:
+            if video_id not in recovery.schedule:
+                continue  # every request lost: the file left the schedule
+            video = self.catalog[video_id]
+            for c in recovery.schedule.file(video_id).residencies:
+                if c.t_last + video.playback > boundary:
+                    new_carry.setdefault(video_id, []).append(c)
+        self._carryover = new_carry
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_cycles_amended_total",
+                help="Cycle schedules amended by contingency re-scheduling",
+            ).inc()
+        _log.info(
+            "amended cycle %d: %d video(s) re-solved, carryover now %d",
+            result.cycle_index,
+            recovery.videos_resolved,
+            sum(len(v) for v in new_carry.values()),
+        )
+        return recovery
+
     # -- internals -------------------------------------------------------------
 
     def _count_reused(

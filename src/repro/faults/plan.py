@@ -1,0 +1,334 @@
+"""Declarative, seeded fault scenarios.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultSpec` records, each
+describing one resource failure over a half-open time window ``[t_start,
+t_end)``.  Plans are plain data: they serialize to JSON, reload to an equal
+object, and replay bit-identically -- the simulator and the contingency
+scheduler both consume the same spec, so a scenario exercised in CI is
+exactly the scenario a recovery was computed for.
+
+Severity follows a *remaining-fraction* convention: ``severity`` is the
+fraction of the resource that keeps working during the fault.  ``0.0`` means
+the resource is fully down; ``0.4`` on a link means 40 % of its bandwidth
+survives; ``0.4`` on a storage means capacity shrinks to 40 %.  Kinds whose
+resource is binary (:attr:`FaultKind.IS_OUTAGE`, :attr:`FaultKind.LINK_DOWN`)
+ignore severity and are always total.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+import pathlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.topology.graph import Topology, edge_key
+
+
+class FaultKind(enum.Enum):
+    """What kind of resource degradation a fault inflicts."""
+
+    IS_OUTAGE = "is_outage"  # an intermediate storage is fully down
+    LINK_DOWN = "link_down"  # a link is unusable (partition)
+    LINK_DEGRADED = "link_degraded"  # a link keeps only severity * bandwidth
+    WAREHOUSE_BROWNOUT = "warehouse_brownout"  # warehouse egress degraded
+    CAPACITY_SHRINK = "capacity_shrink"  # a storage keeps severity * capacity
+
+
+#: Kinds whose target is a node name.
+NODE_KINDS = frozenset(
+    {FaultKind.IS_OUTAGE, FaultKind.WAREHOUSE_BROWNOUT, FaultKind.CAPACITY_SHRINK}
+)
+#: Kinds whose target is an undirected link ``(a, b)``.
+LINK_KINDS = frozenset({FaultKind.LINK_DOWN, FaultKind.LINK_DEGRADED})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a target resource, a window, and a severity.
+
+    Attributes:
+        kind: What fails.
+        target: Node name for node kinds, ``(a, b)`` edge pair for link
+            kinds (normalized to the canonical sorted order).
+        t_start: When the fault begins (inclusive).
+        t_end: When the resource recovers (exclusive).
+        severity: Remaining fraction of the resource during the fault (see
+            module docstring).  Ignored (treated as 0) by binary kinds.
+        label: Optional human-readable scenario annotation.
+    """
+
+    kind: FaultKind
+    target: str | tuple[str, str]
+    t_start: float
+    t_end: float
+    severity: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.t_start) and math.isfinite(self.t_end)):
+            raise FaultError("fault window must be finite")
+        if self.t_end <= self.t_start:
+            raise FaultError(
+                f"fault window reversed or empty: [{self.t_start}, {self.t_end})"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise FaultError(
+                f"severity must be a remaining fraction in [0, 1], "
+                f"got {self.severity}"
+            )
+        if self.kind in LINK_KINDS:
+            if not (isinstance(self.target, (tuple, list)) and len(self.target) == 2):
+                raise FaultError(
+                    f"{self.kind.value} target must be an (a, b) edge pair, "
+                    f"got {self.target!r}"
+                )
+            object.__setattr__(self, "target", edge_key(*self.target))
+        elif not isinstance(self.target, str) or not self.target:
+            raise FaultError(
+                f"{self.kind.value} target must be a node name, "
+                f"got {self.target!r}"
+            )
+        if self.kind is FaultKind.CAPACITY_SHRINK and self.severity <= 0.0:
+            raise FaultError(
+                "capacity_shrink needs severity > 0 (use is_outage for a "
+                "total storage loss)"
+            )
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return (self.t_start, self.t_end)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def is_total(self) -> bool:
+        """Whether the target resource is completely unusable while faulted."""
+        if self.kind in (FaultKind.IS_OUTAGE, FaultKind.LINK_DOWN):
+            return True
+        return self.severity == 0.0
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used in traces, reports and metrics labels."""
+        target = (
+            "-".join(self.target)
+            if isinstance(self.target, tuple)
+            else self.target
+        )
+        return f"{self.kind.value}:{target}@{self.t_start:g}"
+
+    def active_at(self, t: float) -> bool:
+        """Whether the fault is in effect at instant ``t`` (half-open)."""
+        return self.t_start <= t < self.t_end
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Whether the fault window intersects the half-open ``[t0, t1)``."""
+        return t0 < self.t_end and self.t_start < t1
+
+    def _sort_key(self) -> tuple:
+        target = (
+            "-".join(self.target)
+            if isinstance(self.target, tuple)
+            else self.target
+        )
+        return (self.t_start, self.t_end, self.kind.value, target, self.severity)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "target": list(self.target)
+            if isinstance(self.target, tuple)
+            else self.target,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "severity": self.severity,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            kind = FaultKind(data["kind"])
+            target = data["target"]
+            if isinstance(target, list):
+                target = tuple(target)
+            return cls(
+                kind=kind,
+                target=target,
+                t_start=float(data["t_start"]),
+                t_end=float(data["t_end"]),
+                severity=float(data.get("severity", 0.0)),
+                label=str(data.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault record: {exc}") from exc
+
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable fault scenario.
+
+    Faults are kept in a canonical deterministic order (by window, kind,
+    target), so two plans with the same faults compare equal and replay
+    identically regardless of construction order.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    name: str = ""
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.faults, key=FaultSpec._sort_key))
+        object.__setattr__(self, "faults", ordered)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """(earliest fault start, latest fault end); raises when empty."""
+        if not self.faults:
+            raise FaultError("empty fault plan has no horizon")
+        return (
+            min(f.t_start for f in self.faults),
+            max(f.t_end for f in self.faults),
+        )
+
+    def active_at(self, t: float) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.active_at(t))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        doc = {
+            "format_version": _FORMAT_VERSION,
+            "name": self.name,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        version = data.get("format_version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise FaultError(
+                f"unsupported fault-plan format version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        try:
+            faults = tuple(FaultSpec.from_dict(f) for f in data["faults"])
+        except (KeyError, TypeError) as exc:
+            raise FaultError(f"malformed fault plan document: {exc}") from exc
+        seed = data.get("seed")
+        return cls(
+            faults=faults,
+            name=str(data.get("name", "")),
+            seed=int(seed) if seed is not None else None,
+        )
+
+    def save(self, path) -> None:
+        """Write the plan as pretty-printed JSON."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (raises on malformed input)."""
+        try:
+            doc = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_dict(doc)
+
+    # -- seeded generation -------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        *,
+        seed: int,
+        horizon: tuple[float, float],
+        n_faults: int = 3,
+        kinds: tuple[FaultKind, ...] | None = None,
+        duration_range: tuple[float, float] = (0.05, 0.25),
+        severity_range: tuple[float, float] = (0.2, 0.8),
+    ) -> "FaultPlan":
+        """Draw a deterministic scenario for ``topology`` from ``seed``.
+
+        Targets are drawn from the topology's storages/links/warehouses in
+        sorted-name order, windows from ``horizon`` with durations uniform in
+        ``duration_range`` (as fractions of the horizon span), partial
+        severities uniform in ``severity_range``.  The same arguments always
+        yield an equal plan.
+        """
+        if n_faults < 1:
+            raise FaultError(f"n_faults must be >= 1, got {n_faults}")
+        t0, t1 = horizon
+        if not (math.isfinite(t0) and math.isfinite(t1)) or t1 <= t0:
+            raise FaultError(f"invalid horizon ({t0}, {t1})")
+        rng = random.Random(seed)
+        storages = sorted(s.name for s in topology.storages)
+        warehouses = sorted(w.name for w in topology.warehouses)
+        edges = sorted(e.key for e in topology.edges)
+        if kinds is None:
+            kinds = (
+                FaultKind.IS_OUTAGE,
+                FaultKind.LINK_DOWN,
+                FaultKind.LINK_DEGRADED,
+                FaultKind.WAREHOUSE_BROWNOUT,
+                FaultKind.CAPACITY_SHRINK,
+            )
+        pools: dict[FaultKind, list] = {
+            FaultKind.IS_OUTAGE: storages,
+            FaultKind.CAPACITY_SHRINK: storages,
+            FaultKind.WAREHOUSE_BROWNOUT: warehouses,
+            FaultKind.LINK_DOWN: edges,
+            FaultKind.LINK_DEGRADED: edges,
+        }
+        usable = [k for k in kinds if pools[k]]
+        if not usable:
+            raise FaultError("topology offers no target for any requested kind")
+        span = t1 - t0
+        faults = []
+        for i in range(n_faults):
+            kind = rng.choice(usable)
+            target = rng.choice(pools[kind])
+            duration = span * rng.uniform(*duration_range)
+            start = t0 + rng.uniform(0.0, max(span - duration, 0.0))
+            if kind in (FaultKind.IS_OUTAGE, FaultKind.LINK_DOWN):
+                severity = 0.0
+            else:
+                severity = rng.uniform(*severity_range)
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    target=target,
+                    t_start=start,
+                    t_end=start + duration,
+                    severity=severity,
+                    label=f"gen-{i}",
+                )
+            )
+        return cls(faults=tuple(faults), name=f"generated-seed{seed}", seed=seed)
+
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "NODE_KINDS", "LINK_KINDS"]

@@ -20,6 +20,8 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 
+import dataclasses
+
 from repro.billing import BillingStatement, allocate_costs
 from repro.obs import NULL_OBS, Observability, RunTelemetry
 from repro.catalog.catalog import VideoCatalog
@@ -28,6 +30,9 @@ from repro.core.heat import HeatMetric
 from repro.core.parallel import ParallelConfig
 from repro.errors import ScheduleError, WorkloadError
 from repro.extensions.rolling import CycleResult, RollingScheduler
+from repro.faults.contingency import RecoveryResult
+from repro.faults.inject import masked_topology
+from repro.faults.plan import FaultPlan
 from repro.sim.validate import Violation, validate_schedule
 from repro.topology.graph import Topology
 from repro.warehouse.hierarchy import WarehouseSpec
@@ -50,6 +55,9 @@ class CycleReport:
     #: Telemetry snapshot taken as the cycle closed (``None`` when the
     #: service runs with the default null observability handle).
     telemetry: RunTelemetry | None = None
+    #: Set when this report came out of :meth:`VORService.amend_cycle`:
+    #: the contingency pass that produced the (patched) schedule.
+    recovery: "RecoveryResult | None" = None
 
     @property
     def cost(self) -> CostBreakdown:
@@ -81,6 +89,13 @@ class CycleReport:
             )
         if self.rejected:
             lines.append(f"  rejected reservations: {len(self.rejected)}")
+        if self.recovery is not None:
+            lines.append(
+                f"  recovery: {self.recovery.videos_resolved} video(s) "
+                f"re-solved, {self.recovery.requests_saved} saved / "
+                f"{self.recovery.requests_lost} lost "
+                f"(psi {self.recovery.cost_delta:+.2f})"
+            )
         return "\n".join(lines)
 
 
@@ -230,4 +245,79 @@ class VORService:
             violations=violations,
             staging=staging,
             telemetry=self.obs.telemetry() if self.obs.enabled else None,
+        )
+
+    def amend_cycle(self, report: CycleReport, plan: FaultPlan) -> CycleReport:
+        """Amend the last closed cycle's schedule around an active fault plan.
+
+        Re-solves the impacted videos through the contingency scheduler
+        (masked topology, Phase 1 + SORP), re-bills, and re-validates the
+        patched schedule against the *masked* cost model with the plan's
+        lost requests excused.  The rolling carryover state is re-rolled
+        from the patched schedule, so the next :meth:`close_cycle` inherits
+        the post-fault reality.
+
+        Args:
+            report: The :class:`CycleReport` returned by the most recent
+                :meth:`close_cycle`.
+            plan: The active fault scenario.
+
+        Returns:
+            A fresh :class:`CycleReport` whose ``cycle.schedule`` is the
+            patched plan and whose :attr:`CycleReport.recovery` carries the
+            SLA/cost outcome of the contingency pass.
+        """
+        with self.obs.tracer.span("amend_cycle", faults=len(plan)) as span:
+            recovery = self._rolling.amend_cycle(report.cycle, plan)
+            patched = recovery.schedule
+            with self.obs.tracer.span("billing"):
+                billing = allocate_costs(patched, self.cost_model)
+            masked_cm = CostModel(
+                masked_topology(self.topology, plan), self.catalog
+            )
+            lost = set(recovery.lost)
+            surviving = RequestBatch(
+                d.request
+                for d in report.cycle.schedule.deliveries
+                if d.request not in lost
+            )
+            with self.obs.tracer.span("validate") as vspan:
+                violations = validate_schedule(
+                    patched,
+                    surviving,
+                    masked_cm,
+                    trusted_residencies=report.cycle.inherited,
+                )
+                vspan.set(violations=len(violations))
+            staging = None
+            if self._staging_planner is not None:
+                with self.obs.tracer.span("staging"):
+                    staging = self._staging_planner.plan(patched)
+            span.set(
+                impacted=recovery.videos_resolved, feasible=not violations
+            )
+        if violations:
+            _log.warning(
+                "amended cycle %d still has %d feasibility violation(s)",
+                report.cycle.cycle_index, len(violations),
+            )
+        cycle = dataclasses.replace(
+            report.cycle,
+            schedule=patched,
+            cost=recovery.cost_after,
+            resolution=(
+                recovery.resolution
+                if recovery.resolution is not None
+                else report.cycle.resolution
+            ),
+            carried_out=len(self._rolling.carryover),
+        )
+        return CycleReport(
+            cycle=cycle,
+            billing=billing,
+            violations=violations,
+            staging=staging,
+            rejected=list(report.rejected),
+            telemetry=self.obs.telemetry() if self.obs.enabled else None,
+            recovery=recovery,
         )

@@ -20,19 +20,26 @@ begins).  The engine reports both curves; see
 :func:`repro.sim.fluid.fluid_occupancy_profile`.
 """
 
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import Event, EventKind, EventQueue, kind_priority
 from repro.sim.fluid import fluid_occupancy_profile
 from repro.sim.engine import SimulationEngine, SimulationReport
-from repro.sim.validate import Violation, assert_valid, validate_schedule
+from repro.sim.validate import (
+    Violation,
+    assert_valid,
+    fault_violations,
+    validate_schedule,
+)
 
 __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "kind_priority",
     "fluid_occupancy_profile",
     "SimulationEngine",
     "SimulationReport",
     "Violation",
     "assert_valid",
+    "fault_violations",
     "validate_schedule",
 ]

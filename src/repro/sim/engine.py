@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.catalog.catalog import VideoCatalog
 from repro.core.costmodel import CostModel
@@ -25,6 +26,9 @@ from repro.core.spacefunc import SpaceProfile, UsageTimeline, LinearSegment
 from repro.obs import NULL_OBS, Observability, RunTelemetry
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fluid import fluid_occupancy_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> sim)
+    from repro.faults.plan import FaultPlan
 
 _log = logging.getLogger(__name__)
 
@@ -76,6 +80,9 @@ class SimulationReport:
     n_streams: int = 0
     n_services: int = 0
     n_residencies: int = 0
+    #: Number of injected faults replayed in the trace (each contributes a
+    #: ``FAULT_START``/``FAULT_END`` event pair).
+    n_faults: int = 0
     #: Telemetry snapshot taken as the run finished (``None`` when the
     #: engine runs with the default null observability handle).
     telemetry: RunTelemetry | None = None
@@ -104,28 +111,56 @@ class SimulationEngine:
         self._catalog: VideoCatalog = cost_model.catalog
         self._obs = obs if obs is not None else NULL_OBS
 
-    def run(self, schedule: Schedule) -> SimulationReport:
-        """Execute ``schedule`` and return the full observation report."""
+    def run(
+        self, schedule: Schedule, *, faults: "FaultPlan | None" = None
+    ) -> SimulationReport:
+        """Execute ``schedule`` and return the full observation report.
+
+        Args:
+            schedule: The plan to replay.
+            faults: Optional :class:`~repro.faults.plan.FaultPlan` to inject.
+                Each fault contributes ``FAULT_START``/``FAULT_END`` events
+                to the trace; same-timestamp ordering guarantees the start
+                event precedes (and the end event follows) any stream or
+                service event at the same instant, so trace consumers see
+                availability change *before* the work it affects.
+        """
         with self._obs.tracer.span(
             "simulate",
             deliveries=len(schedule.deliveries),
             residencies=len(schedule.residencies),
+            faults=0 if faults is None else len(faults),
         ) as span:
-            report = self._run(schedule)
+            report = self._run(schedule, faults)
             span.set(events=len(report.trace))
         self._record_metrics(report)
         if self._obs.enabled:
             report.telemetry = self._obs.telemetry()
         _log.debug(
-            "simulated %d event(s): %d stream(s), %d residenc(ies)",
+            "simulated %d event(s): %d stream(s), %d residenc(ies), %d fault(s)",
             len(report.trace), report.n_streams, report.n_residencies,
+            report.n_faults,
         )
         return report
 
-    def _run(self, schedule: Schedule) -> SimulationReport:
+    def _run(
+        self, schedule: Schedule, faults: "FaultPlan | None" = None
+    ) -> SimulationReport:
         report = SimulationReport()
         queue = EventQueue()
         link_profiles: dict[tuple[str, str], list[SpaceProfile]] = {}
+
+        if faults is not None:
+            for f in faults:
+                payload = {
+                    "fault": f.key,
+                    "kind": f.kind.value,
+                    "target": f.target,
+                    "severity": f.severity,
+                }
+                queue.push(f.t_start, EventKind.FAULT_START, payload)
+                queue.push(f.t_end, EventKind.FAULT_END, payload)
+                report.n_faults += 1
 
         for fs in schedule:
             video = self._catalog[fs.video_id]
@@ -226,6 +261,11 @@ class SimulationEngine:
                 help="Simulation events replayed, by kind",
                 kind=kind,
             ).inc(count)
+        if report.n_faults:
+            metrics.counter(
+                "vor_faults_injected_total",
+                help="Faults injected into simulation replays",
+            ).inc(report.n_faults)
         for name, load in report.storages.items():
             metrics.gauge(
                 "vor_storage_peak_reserved_bytes",

@@ -1,8 +1,21 @@
 """Event primitives for the schedule-execution engine.
 
 A minimal, allocation-light discrete-event core: events carry a time, a kind
-and an opaque payload; the queue pops them in (time, sequence) order so
-simultaneous events preserve insertion order deterministically.
+and an opaque payload; the queue pops them in ``(time, kind priority, seq)``
+order.  The priority rank pins the relative order of *simultaneous* events:
+
+* ``FAULT_END`` first -- a resource recovering at ``t`` is available to
+  anything else happening at ``t``;
+* ``FAULT_START`` second -- a fault beginning at ``t`` hits every stream or
+  service that starts at the same instant;
+* everything else afterwards, in insertion order (``seq`` is assigned by the
+  queue, so equal-time, equal-priority events replay in the deterministic
+  order the engine pushed them).
+
+This total order is part of the replay contract: fault injection and
+contingency re-scheduling rely on traces being stable across runs and
+Phase-1 backends, so the tie-break is pinned by regression tests rather
+than left to incidental heap behaviour.
 """
 
 from __future__ import annotations
@@ -11,7 +24,7 @@ import enum
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SimulationError
@@ -27,24 +40,53 @@ class EventKind(enum.Enum):
     CACHE_OPEN = "cache_open"  # a residency starts filling
     CACHE_LAST_SERVICE = "cache_last_service"  # the residency's final reader starts
     CACHE_RELEASE = "cache_release"  # the last block is dropped
+    FAULT_START = "fault_start"  # a resource fault begins (availability drops)
+    FAULT_END = "fault_end"  # the faulted resource recovers
 
 
-@dataclass(frozen=True, order=True)
+#: Same-timestamp replay ranks; unlisted kinds share the default rank 2.
+_KIND_PRIORITY = {
+    EventKind.FAULT_END: 0,
+    EventKind.FAULT_START: 1,
+}
+_DEFAULT_PRIORITY = 2
+
+
+def kind_priority(kind: EventKind) -> int:
+    """Same-timestamp replay rank of ``kind`` (lower pops first)."""
+    return _KIND_PRIORITY.get(kind, _DEFAULT_PRIORITY)
+
+
+@dataclass(frozen=True)
 class Event:
     """One timestamped simulation event.
 
-    Ordering is by (time, seq); ``seq`` is assigned by the queue so equal-time
-    events pop in insertion order.
+    Ordering is by ``(time, kind priority, seq)``; ``seq`` is assigned by
+    the queue so equal-time, equal-priority events pop in insertion order.
     """
 
     time: float
     seq: int
-    kind: EventKind = field(compare=False)
-    payload: Any = field(compare=False, default=None)
+    kind: EventKind
+    payload: Any = None
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.time):
             raise SimulationError(f"event time must be finite, got {self.time}")
+
+    @property
+    def priority(self) -> int:
+        """Same-timestamp rank (faults end, then start, then everything)."""
+        return kind_priority(self.kind)
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key < other.sort_key
 
 
 class EventQueue:

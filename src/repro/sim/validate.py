@@ -16,6 +16,11 @@ records (empty = feasible):
 * **link bandwidth** -- concurrent streams on a link stay within its
   bandwidth, when finite (the base paper leaves links uncapacitated; the
   bandwidth extension uses this check).
+
+With ``faults=`` (a :class:`~repro.faults.plan.FaultPlan`), the schedule is
+additionally replayed in degraded mode and every dropped/late service,
+stranded residency, saturated link and shrunk-storage overflow becomes a
+``fault-*`` violation (see :func:`fault_violations`).
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from repro.workload.requests import RequestBatch
 class Violation:
     """One feasibility violation found in a schedule."""
 
-    kind: str  # "coverage" | "causality" | "capacity" | "bandwidth"
+    kind: str  # "coverage" | "causality" | "capacity" | "bandwidth" | "fault-*"
     message: str
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -48,6 +53,7 @@ def validate_schedule(
     *,
     check_links: bool = True,
     trusted_residencies=(),
+    faults=None,
 ) -> list[Violation]:
     """Run every feasibility check; return all violations found.
 
@@ -57,6 +63,10 @@ def validate_schedule(
     They are exempt from the feeder-causality check (matched on
     ``(video_id, location, t_start)``); everything else about them is still
     validated.
+
+    ``faults`` optionally names a :class:`~repro.faults.plan.FaultPlan`;
+    the schedule is then also replayed in degraded mode and every service
+    the plan breaks is reported as a ``fault-*`` violation.
     """
     violations: list[Violation] = []
     violations.extend(_check_coverage(schedule, batch))
@@ -66,7 +76,65 @@ def validate_schedule(
     violations.extend(_check_capacity(schedule, cost_model))
     if check_links:
         violations.extend(_check_links(schedule, cost_model))
+    if faults is not None:
+        violations.extend(fault_violations(schedule, cost_model, faults))
     return violations
+
+
+def fault_violations(schedule, cost_model, plan) -> list[Violation]:
+    """Degraded-mode replay of ``schedule`` under ``plan`` as violations.
+
+    Each dropped or late service, stranded residency, saturated link and
+    shrunk-storage overflow found by
+    :func:`repro.faults.report.build_degraded_report` becomes one
+    :class:`Violation` whose kind carries a ``fault-`` prefix, so callers
+    can separate hard infeasibilities from fault-induced degradation.
+    """
+    # Imported lazily: repro.faults.report imports this module's siblings.
+    from repro.faults.report import build_degraded_report
+
+    report = build_degraded_report(schedule, cost_model, plan)
+    out: list[Violation] = []
+    for i in report.dropped:
+        out.append(
+            Violation(
+                "fault-drop",
+                f"request {i.user_id}/{i.video_id}@{i.start_time:g} dropped: "
+                f"{i.resource} down ({i.fault})",
+            )
+        )
+    for i in report.late:
+        out.append(
+            Violation(
+                "fault-late",
+                f"request {i.user_id}/{i.video_id}@{i.start_time:g} delayed "
+                f"{i.delay:g}s: {i.resource} down mid-stream ({i.fault})",
+            )
+        )
+    for s in report.stranded:
+        out.append(
+            Violation(
+                "fault-stranded",
+                f"residency of {s.video_id} at {s.location} lost to {s.fault}",
+            )
+        )
+    for ls in report.saturated_links:
+        out.append(
+            Violation(
+                "fault-bandwidth",
+                f"link {ls.edge}: load peaks at {ls.peak:g} > degraded "
+                f"bandwidth {ls.effective_bandwidth:g} during {ls.fault}",
+            )
+        )
+    for ss in report.storage_overflows:
+        out.append(
+            Violation(
+                "fault-capacity",
+                f"{ss.location}: reserved usage peaks at {ss.peak:g} > shrunk "
+                f"capacity {ss.effective_capacity:g} during {ss.fault}",
+            )
+        )
+    return out
 
 
 def assert_valid(

@@ -1,0 +1,281 @@
+"""Tests for contingency re-scheduling around an active fault plan.
+
+The fixture topology is a triangle -- ``VW -- IS1 -- IS2`` plus an expensive
+direct ``VW -- IS2`` backup link -- so a fault on the cheap chain leaves a
+recovery path for the re-solve to find.
+"""
+
+import pytest
+
+from repro import (
+    ContingencyScheduler,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ParallelConfig,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VideoScheduler,
+    VORService,
+    units,
+)
+from repro.core.costmodel import CostModel
+from repro.errors import ScheduleError
+from repro.extensions.rolling import RollingScheduler
+from repro.faults import combined_effects, impacted_videos, masked_topology
+from repro.sim.validate import validate_schedule
+from repro.workload.requests import Request, RequestBatch
+
+
+def _triangle() -> Topology:
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=1e-9, capacity=units.gb(50))
+    topo.add_storage("IS2", srate=1e-9, capacity=units.gb(50))
+    topo.add_edge("VW", "IS1", nrate=1e-9)
+    topo.add_edge("IS1", "IS2", nrate=1e-9)
+    topo.add_edge("VW", "IS2", nrate=1e-8)  # pricey direct backup
+    return topo
+
+
+@pytest.fixture
+def env():
+    topo = _triangle()
+    catalog = VideoCatalog(
+        [
+            VideoFile(f"m{i}", size=units.gb(2.5), playback=units.minutes(90))
+            for i in range(2)
+        ]
+    )
+    batch = RequestBatch(
+        [
+            Request(1 * units.HOUR, "m0", "a", "IS1"),
+            Request(1 * units.HOUR, "m1", "b", "IS2"),
+            Request(2 * units.HOUR, "m1", "c", "IS2"),
+        ]
+    )
+    result = VideoScheduler(topo, catalog).solve(batch)
+    return topo, catalog, batch, result.schedule
+
+
+def _window_plan(kind, target, severity=0.0):
+    return FaultPlan(
+        (
+            FaultSpec(
+                kind=kind,
+                target=target,
+                t_start=0.0,
+                t_end=24 * units.HOUR,
+                severity=severity,
+            ),
+        )
+    )
+
+
+class TestImpactedVideos:
+    def test_delivery_through_down_edge(self, env):
+        topo, catalog, batch, schedule = env
+        effects = combined_effects(
+            topo, _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        )
+        assert impacted_videos(schedule, effects) == ("m1",)
+
+    def test_down_storage_impacts_its_users(self, env):
+        topo, catalog, batch, schedule = env
+        effects = combined_effects(
+            topo, _window_plan(FaultKind.IS_OUTAGE, "IS2")
+        )
+        assert "m1" in impacted_videos(schedule, effects)
+
+    def test_empty_effects_impact_nothing(self, env):
+        topo, catalog, batch, schedule = env
+        effects = combined_effects(topo, FaultPlan())
+        assert impacted_videos(schedule, effects) == ()
+
+
+class TestRecover:
+    def test_empty_plan_is_a_noop(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        rec = ContingencyScheduler(cm).recover(schedule, FaultPlan(), batch=batch)
+        assert rec.schedule == schedule
+        assert rec.schedule is not schedule  # input never mutated
+        assert rec.impacted == () and rec.resolution is None
+        assert rec.cost_delta == 0.0
+        assert rec.requests_saved == 0 and rec.requests_lost == 0
+
+    def test_link_down_reroutes_impacted_video(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        rec = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        assert rec.impacted == ("m1",)
+        # the direct VW--IS2 link keeps everyone reachable: nothing lost
+        assert rec.requests_lost == 0 and rec.requests_saved == 2
+        assert len(rec.schedule.deliveries) == len(batch)
+        # unimpacted file carried over bit-for-bit
+        assert rec.schedule.file("m0") == schedule.file("m0")
+        # no patched route crosses the dead link
+        for d in rec.schedule.file("m1").deliveries:
+            assert ("IS1", "IS2") != tuple(sorted(d.route[-2:]))
+        # rerouting over the pricey backup costs more
+        assert rec.cost_delta > 0.0
+
+    def test_patched_schedule_valid_on_masked_model(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        rec = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        masked_cm = CostModel(masked_topology(topo, plan), catalog)
+        surviving = RequestBatch(r for r in batch if r not in set(rec.lost))
+        assert validate_schedule(rec.schedule, surviving, masked_cm) == []
+
+    def test_outage_loses_unreachable_requests(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.IS_OUTAGE, "IS2")
+        rec = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        assert {r.user_id for r in rec.lost} == {"b", "c"}
+        assert "m1" not in rec.schedule
+        # dropped deliveries take their cost with them
+        assert rec.cost_delta < 0.0
+        masked_cm = CostModel(masked_topology(topo, plan), catalog)
+        surviving = RequestBatch(r for r in batch if r not in set(rec.lost))
+        assert validate_schedule(rec.schedule, surviving, masked_cm) == []
+
+    def test_costs_priced_on_the_original_model(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        rec = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        assert rec.cost_before.total == pytest.approx(
+            cm.schedule_cost(schedule).total
+        )
+        assert rec.cost_after.total == pytest.approx(
+            cm.schedule_cost(rec.schedule).total
+        )
+        assert rec.cost_delta == pytest.approx(
+            rec.cost_after.total - rec.cost_before.total
+        )
+
+    def test_batch_reconstructed_from_schedule_when_omitted(self, env):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        explicit = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        implicit = ContingencyScheduler(cm).recover(schedule, plan)
+        assert implicit.schedule == explicit.schedule
+        assert implicit.saved == explicit.saved
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_recovery_bit_identical_across_backends(self, env, backend):
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        serial = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        parallel = ContingencyScheduler(
+            cm, parallel=ParallelConfig(backend=backend, workers=2)
+        ).recover(schedule, plan, batch=batch)
+        assert parallel.schedule == serial.schedule
+        assert parallel.saved == serial.saved
+        assert parallel.lost == serial.lost
+        assert parallel.cost_after.total == serial.cost_after.total
+        assert parallel.backend == backend
+
+    def test_json_dict_round_trips(self, env):
+        import json
+
+        topo, catalog, batch, schedule = env
+        cm = CostModel(topo, catalog)
+        plan = _window_plan(FaultKind.IS_OUTAGE, "IS2")
+        rec = ContingencyScheduler(cm).recover(schedule, plan, batch=batch)
+        doc = rec.to_json_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["requests_lost"] == 2
+        assert doc["plan"] == plan.to_dict()
+        assert "recovery" in rec.sla_summary()
+
+
+class TestRollingAmend:
+    def test_amend_before_any_cycle_rejected(self):
+        topo = _triangle()
+        catalog = VideoCatalog([VideoFile("m0", size=units.gb(2.5),
+                                          playback=units.minutes(90))])
+        rolling = RollingScheduler(topo, catalog)
+        with pytest.raises(ScheduleError, match="nothing to amend"):
+            rolling.amend_cycle(None, FaultPlan())
+
+    def test_amend_reroll_drops_stranded_carryover(self):
+        topo = _triangle()
+        catalog = VideoCatalog(
+            [VideoFile("m0", size=units.gb(2.5), playback=units.minutes(90))]
+        )
+        rolling = RollingScheduler(topo, catalog)
+        # a request near the cycle end leaves a residency tail crossing
+        # the boundary when the greedy caches at the destination
+        batch = RequestBatch(
+            [
+                Request(20 * units.HOUR, "m0", "a", "IS2"),
+                Request(23 * units.HOUR, "m0", "b", "IS2"),
+            ]
+        )
+        result = rolling.schedule_cycle(batch, cycle_end=24 * units.HOUR)
+        plan = _window_plan(FaultKind.IS_OUTAGE, "IS2")
+        recovery = rolling.amend_cycle(result, plan, batch=batch)
+        assert recovery.requests_lost == 2
+        # IS2's cached copy is gone; nothing at a down node may carry over
+        assert all(
+            c.location != "IS2" for c in rolling.carryover
+        )
+
+
+class TestServiceAmend:
+    @pytest.fixture
+    def service_env(self):
+        topo = _triangle()
+        catalog = VideoCatalog(
+            [
+                VideoFile(
+                    f"m{i}", size=units.gb(2.5), playback=units.minutes(90)
+                )
+                for i in range(2)
+            ]
+        )
+        return topo, catalog
+
+    def test_amend_cycle_reports_recovery(self, service_env):
+        topo, catalog = service_env
+        svc = VORService(topo, catalog)
+        svc.reserve("alice", "m0", 5 * units.HOUR, local_storage="IS1")
+        svc.reserve("bob", "m1", 7 * units.HOUR, local_storage="IS2")
+        report = svc.close_cycle(cycle_end=units.DAY)
+        assert report.feasible and report.recovery is None
+
+        plan = _window_plan(FaultKind.IS_OUTAGE, "IS2")
+        amended = svc.amend_cycle(report, plan)
+        assert amended.recovery is not None
+        assert amended.recovery.requests_lost == 1
+        assert {r.user_id for r in amended.recovery.lost} == {"bob"}
+        # patched schedule is feasible on the masked topology
+        assert amended.feasible
+        # billing re-allocated over the patched schedule
+        assert amended.billing.grand_total == pytest.approx(
+            amended.cycle.total_cost
+        )
+        assert "alice" in amended.billing.invoices
+        assert "bob" not in amended.billing.invoices
+        assert "recovery" in amended.summary()
+
+    def test_amend_with_reroute_keeps_everyone_served(self, service_env):
+        topo, catalog = service_env
+        svc = VORService(topo, catalog)
+        svc.reserve("alice", "m0", 5 * units.HOUR, local_storage="IS1")
+        svc.reserve("bob", "m1", 7 * units.HOUR, local_storage="IS2")
+        report = svc.close_cycle(cycle_end=units.DAY)
+
+        plan = _window_plan(FaultKind.LINK_DOWN, ("IS1", "IS2"))
+        amended = svc.amend_cycle(report, plan)
+        assert amended.recovery.requests_lost == 0
+        assert amended.feasible
+        assert len(amended.cycle.schedule.deliveries) == 2

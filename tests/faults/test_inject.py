@@ -1,0 +1,169 @@
+"""Tests for fault-to-resource-effect resolution and topology masking."""
+
+import pytest
+
+from repro import FaultKind, FaultPlan, FaultSpec, Topology, masked_topology
+from repro.errors import FaultError
+from repro.faults import combined_effects, effects_of
+
+
+def _topo() -> Topology:
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=0.01, capacity=100.0)
+    topo.add_storage("IS2", srate=0.01, capacity=100.0)
+    topo.add_edge("VW", "IS1", nrate=0.001, bandwidth=50.0)
+    topo.add_edge("VW", "IS2", nrate=0.001, bandwidth=50.0)
+    topo.add_edge("IS1", "IS2", nrate=0.001, bandwidth=50.0)
+    return topo
+
+
+def _fault(kind, target, severity=0.0) -> FaultSpec:
+    return FaultSpec(kind=kind, target=target, t_start=0.0, t_end=1.0,
+                     severity=severity)
+
+
+class TestEffectsOf:
+    def test_is_outage_downs_the_node(self):
+        eff = effects_of(_topo(), _fault(FaultKind.IS_OUTAGE, "IS1"))
+        assert eff.down_nodes == {"IS1"}
+        assert not eff.down_edges and not eff.bandwidth_factors
+        assert eff.touches_node("IS1") and not eff.touches_node("IS2")
+
+    def test_is_outage_rejects_warehouse_target(self):
+        with pytest.raises(FaultError, match="not an intermediate storage"):
+            effects_of(_topo(), _fault(FaultKind.IS_OUTAGE, "VW"))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(FaultError, match="unknown node"):
+            effects_of(_topo(), _fault(FaultKind.IS_OUTAGE, "IS9"))
+
+    def test_link_down(self):
+        eff = effects_of(_topo(), _fault(FaultKind.LINK_DOWN, ("IS1", "VW")))
+        assert eff.down_edges == {("IS1", "VW")}
+        assert eff.touches_edge(("IS1", "VW"))
+
+    def test_unknown_link_rejected(self):
+        topo = _topo()
+        with pytest.raises(FaultError, match="unknown link"):
+            effects_of(topo, _fault(FaultKind.LINK_DOWN, ("IS1", "IS9")))
+
+    def test_link_degraded_scales_bandwidth(self):
+        eff = effects_of(
+            _topo(), _fault(FaultKind.LINK_DEGRADED, ("IS1", "VW"), 0.4)
+        )
+        assert eff.bandwidth_factor_map == {("IS1", "VW"): 0.4}
+        assert not eff.down_edges
+
+    def test_link_degraded_to_zero_is_down(self):
+        eff = effects_of(
+            _topo(), _fault(FaultKind.LINK_DEGRADED, ("IS1", "VW"), 0.0)
+        )
+        assert eff.down_edges == {("IS1", "VW")}
+        assert not eff.bandwidth_factors
+
+    def test_warehouse_brownout_scales_every_incident_link(self):
+        eff = effects_of(
+            _topo(), _fault(FaultKind.WAREHOUSE_BROWNOUT, "VW", 0.5)
+        )
+        assert eff.bandwidth_factor_map == {
+            ("IS1", "VW"): 0.5,
+            ("IS2", "VW"): 0.5,
+        }
+        # the IS1--IS2 leg is untouched
+        assert ("IS1", "IS2") not in eff.bandwidth_factor_map
+
+    def test_brownout_rejects_storage_target(self):
+        with pytest.raises(FaultError, match="not a warehouse"):
+            effects_of(_topo(), _fault(FaultKind.WAREHOUSE_BROWNOUT, "IS1"))
+
+    def test_capacity_shrink(self):
+        eff = effects_of(
+            _topo(), _fault(FaultKind.CAPACITY_SHRINK, "IS2", 0.25)
+        )
+        assert eff.capacity_factor_map == {"IS2": 0.25}
+        assert eff.down_nodes == frozenset()
+
+    def test_empty_property(self):
+        assert combined_effects(_topo(), FaultPlan()).empty
+        assert not effects_of(
+            _topo(), _fault(FaultKind.IS_OUTAGE, "IS1")
+        ).empty
+
+
+class TestCombinedEffects:
+    def test_factors_take_the_minimum(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(FaultKind.LINK_DEGRADED, ("IS1", "VW"), 0.0, 1.0,
+                          severity=0.6),
+                FaultSpec(FaultKind.LINK_DEGRADED, ("IS1", "VW"), 2.0, 3.0,
+                          severity=0.3),
+            )
+        )
+        eff = combined_effects(_topo(), plan)
+        assert eff.bandwidth_factor_map == {("IS1", "VW"): 0.3}
+
+    def test_down_edge_swallows_degradation(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(FaultKind.LINK_DEGRADED, ("IS1", "VW"), 0.0, 1.0,
+                          severity=0.6),
+                FaultSpec(FaultKind.LINK_DOWN, ("IS1", "VW"), 2.0, 3.0),
+            )
+        )
+        eff = combined_effects(_topo(), plan)
+        assert eff.down_edges == {("IS1", "VW")}
+        assert not eff.bandwidth_factors
+
+    def test_accepts_a_bare_spec(self):
+        eff = combined_effects(_topo(), _fault(FaultKind.IS_OUTAGE, "IS1"))
+        assert eff.down_nodes == {"IS1"}
+
+
+class TestMaskedTopology:
+    def test_outage_removes_node_and_incident_links(self):
+        masked = masked_topology(_topo(), _fault(FaultKind.IS_OUTAGE, "IS1"))
+        assert "IS1" not in masked
+        assert not masked.has_edge("VW", "IS1")
+        assert not masked.has_edge("IS1", "IS2")
+        assert masked.has_edge("VW", "IS2")
+
+    def test_link_down_removes_only_the_link(self):
+        masked = masked_topology(
+            _topo(), _fault(FaultKind.LINK_DOWN, ("VW", "IS1"))
+        )
+        assert "IS1" in masked and "IS2" in masked
+        assert not masked.has_edge("VW", "IS1")
+        assert masked.has_edge("IS1", "IS2")
+
+    def test_degraded_link_keeps_scaled_bandwidth(self):
+        masked = masked_topology(
+            _topo(), _fault(FaultKind.LINK_DEGRADED, ("VW", "IS1"), 0.4)
+        )
+        assert masked.edge("VW", "IS1").bandwidth == pytest.approx(20.0)
+        assert masked.edge("VW", "IS2").bandwidth == pytest.approx(50.0)
+
+    def test_shrunk_storage_keeps_scaled_capacity(self):
+        masked = masked_topology(
+            _topo(), _fault(FaultKind.CAPACITY_SHRINK, "IS2", 0.25)
+        )
+        assert masked.node("IS2").capacity == pytest.approx(25.0)
+        assert masked.node("IS1").capacity == pytest.approx(100.0)
+
+    def test_rates_and_charging_basis_survive(self):
+        topo = _topo()
+        masked = masked_topology(topo, _fault(FaultKind.IS_OUTAGE, "IS1"))
+        assert masked.charging_basis == topo.charging_basis
+        assert masked.node("IS2").srate == pytest.approx(0.01)
+        assert masked.edge("VW", "IS2").nrate == pytest.approx(0.001)
+
+    def test_no_warehouse_left_is_an_error(self):
+        topo = Topology()
+        topo.add_storage("IS1", srate=0.01, capacity=100.0)
+        topo.add_storage("IS2", srate=0.01, capacity=100.0)
+        topo.add_edge("IS1", "IS2", nrate=0.001)
+        with pytest.raises(FaultError, match="no warehouse standing"):
+            masked_topology(
+                topo, _fault(FaultKind.CAPACITY_SHRINK, "IS1", 0.5)
+            )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Event, EventKind, EventQueue
+from repro.sim import Event, EventKind, EventQueue, kind_priority
 
 
 class TestEventQueue:
@@ -58,3 +58,75 @@ class TestEventQueue:
         a = Event(1.0, 0, EventKind.STREAM_START)
         b = Event(1.0, 1, EventKind.STREAM_END)
         assert a < b
+
+
+class TestTieBreakContract:
+    """Pins the same-timestamp replay order: (time, kind priority, seq).
+
+    This total order is part of the replay contract -- fault injection and
+    contingency re-scheduling rely on traces being byte-stable across runs
+    and Phase-1 backends -- so these are regression tests, not examples.
+    """
+
+    def test_kind_priorities(self):
+        assert kind_priority(EventKind.FAULT_END) == 0
+        assert kind_priority(EventKind.FAULT_START) == 1
+        for kind in EventKind:
+            if kind in (EventKind.FAULT_START, EventKind.FAULT_END):
+                continue
+            assert kind_priority(kind) == 2
+
+    def test_fault_events_win_same_timestamp_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.STREAM_START, "stream")
+        q.push(1.0, EventKind.FAULT_START, "begin")
+        q.push(1.0, EventKind.FAULT_END, "recover")
+        q.push(1.0, EventKind.SERVICE_START, "service")
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == [
+            EventKind.FAULT_END,  # recovery visible to same-instant work
+            EventKind.FAULT_START,  # new fault hits same-instant work
+            EventKind.STREAM_START,  # then insertion order
+            EventKind.SERVICE_START,
+        ]
+
+    def test_insertion_order_within_same_priority(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.FAULT_START, "f1")
+        q.push(2.0, EventKind.FAULT_START, "f2")
+        q.push(2.0, EventKind.FAULT_END, "e1")
+        q.push(2.0, EventKind.FAULT_END, "e2")
+        assert [q.pop().payload for _ in range(4)] == ["e1", "e2", "f1", "f2"]
+
+    def test_sort_key_shape(self):
+        ev = Event(3.0, 7, EventKind.FAULT_START)
+        assert ev.sort_key == (3.0, 1, 7)
+        assert ev.priority == 1
+
+    def test_stable_order_across_runs(self):
+        """The same pushes always drain to the same trace."""
+
+        def build():
+            q = EventQueue()
+            q.push(1.0, EventKind.SERVICE_START, "svc")
+            q.push(1.0, EventKind.FAULT_START, "f")
+            q.push(0.5, EventKind.STREAM_START, "s")
+            q.push(1.0, EventKind.FAULT_END, "e")
+            return [(e.time, e.kind, e.payload) for e in q.drain()]
+
+        first = build()
+        assert first == build()
+        assert [p for _, _, p in first] == ["s", "e", "f", "svc"]
+
+    def test_heap_order_matches_event_lt(self):
+        """Draining the heap equals sorting the events by their sort keys."""
+        q = EventQueue()
+        pushes = [
+            (4.0, EventKind.CACHE_OPEN),
+            (1.0, EventKind.FAULT_START),
+            (1.0, EventKind.STREAM_START),
+            (1.0, EventKind.FAULT_END),
+            (4.0, EventKind.FAULT_START),
+        ]
+        events = [q.push(t, k) for t, k in pushes]
+        assert q.drain() == sorted(events, key=lambda e: e.sort_key)

@@ -1,0 +1,146 @@
+"""One minimal triggering schedule per feasibility-violation kind.
+
+Each test hand-builds the smallest schedule that trips exactly one check in
+:func:`repro.sim.validate.validate_schedule`, pinning both the detector and
+the ``kind`` string it reports.
+"""
+
+import pytest
+
+from repro.catalog.catalog import VideoCatalog
+from repro.catalog.video import VideoFile
+from repro.core.costmodel import CostModel
+from repro.core.schedule import (
+    DeliveryInfo,
+    FileSchedule,
+    ResidencyInfo,
+    Schedule,
+)
+from repro.sim.validate import validate_schedule
+from repro.topology.graph import Topology
+from repro.workload.requests import Request, RequestBatch
+
+
+SIZE = 100.0
+PLAYBACK = 10.0
+
+
+@pytest.fixture
+def catalog():
+    return VideoCatalog(
+        [VideoFile("v", size=SIZE, playback=PLAYBACK, bandwidth=SIZE / PLAYBACK)]
+    )
+
+
+def _topology(*, capacity=1000.0, bandwidth=float("inf")) -> Topology:
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=0.01, capacity=capacity)
+    topo.add_storage("IS2", srate=0.01, capacity=capacity)
+    topo.add_edge("VW", "IS1", nrate=0.001, bandwidth=bandwidth)
+    topo.add_edge("IS1", "IS2", nrate=0.001, bandwidth=bandwidth)
+    return topo
+
+
+def _delivery(request: Request, route: tuple[str, ...]) -> DeliveryInfo:
+    return DeliveryInfo(
+        video_id=request.video_id,
+        route=route,
+        start_time=request.start_time,
+        request=request,
+    )
+
+
+def _kinds(violations) -> set[str]:
+    return {v.kind for v in violations}
+
+
+class TestViolationKinds:
+    def test_coverage_unserved(self, catalog):
+        cm = CostModel(_topology(), catalog)
+        batch = RequestBatch([Request(0.0, "v", "u1", "IS1")])
+        violations = validate_schedule(Schedule(), batch, cm)
+        assert _kinds(violations) == {"coverage"}
+        assert "unserved" in violations[0].message
+
+    def test_coverage_double_served(self, catalog):
+        cm = CostModel(_topology(), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r]), cm
+        )
+        assert _kinds(violations) == {"coverage"}
+        assert "served 2 times" in violations[0].message
+
+    def test_causality_unbacked_delivery(self, catalog):
+        """A delivery sourced at an IS that never held a copy."""
+        cm = CostModel(_topology(), catalog)
+        r = Request(5.0, "v", "u1", "IS2")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("IS1", "IS2")))  # no residency at IS1
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r]), cm
+        )
+        assert _kinds(violations) == {"causality"}
+        assert "no backing residency" in violations[0].message
+
+    def test_capacity_overflow(self, catalog):
+        """A residency whose reserved profile dwarfs the storage's capacity."""
+        cm = CostModel(_topology(capacity=SIZE / 4), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        # long residency at IS1: holds the full file for several playbacks
+        fs.add_residency(
+            ResidencyInfo(
+                "v", "IS1", "VW", t_start=0.0, t_last=5 * PLAYBACK,
+                service_list=("u1",),
+            )
+        )
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r]), cm
+        )
+        assert _kinds(violations) == {"capacity"}
+        assert "IS1" in violations[0].message
+
+    def test_bandwidth_saturation(self, catalog):
+        """Two simultaneous streams on a link that fits only one."""
+        video = catalog["v"]
+        cm = CostModel(
+            _topology(bandwidth=1.5 * video.bandwidth), catalog
+        )
+        r1 = Request(0.0, "v", "u1", "IS1")
+        r2 = Request(0.0, "v", "u2", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r1, ("VW", "IS1")))
+        fs.add_delivery(_delivery(r2, ("VW", "IS1")))
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r1, r2]), cm
+        )
+        assert _kinds(violations) == {"bandwidth"}
+        assert "VW" in violations[0].message and "IS1" in violations[0].message
+
+    def test_bandwidth_not_checked_when_disabled(self, catalog):
+        video = catalog["v"]
+        cm = CostModel(
+            _topology(bandwidth=1.5 * video.bandwidth), catalog
+        )
+        r1 = Request(0.0, "v", "u1", "IS1")
+        r2 = Request(0.0, "v", "u2", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r1, ("VW", "IS1")))
+        fs.add_delivery(_delivery(r2, ("VW", "IS1")))
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r1, r2]), cm, check_links=False
+        )
+        assert violations == []
+
+    def test_feasible_schedule_is_clean(self, catalog):
+        cm = CostModel(_topology(), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        assert validate_schedule(Schedule([fs]), RequestBatch([r]), cm) == []

@@ -1,0 +1,79 @@
+"""Tests for the benchmark baseline-comparison gate.
+
+The speedup report lives under ``benchmarks/`` (not collected by the tier-1
+run), so its pure comparison logic is imported here by file path and pinned
+against the committed ``BENCH_phase1.json`` baseline's shape.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BASELINE = _ROOT / "benchmarks" / "BENCH_phase1.json"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_scheduler_perf", _ROOT / "benchmarks" / "bench_scheduler_perf.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def baseline():
+    return json.loads(_BASELINE.read_text())
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self, bench, baseline):
+        assert bench.compare_reports(baseline, baseline) == []
+
+    def test_timing_changes_do_not_gate(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        for row in current["backends"]:
+            row["wall_time_seconds"] *= 100
+            row["speedup"] /= 100
+        current["uncached"]["wall_time_seconds"] *= 100
+        assert bench.compare_reports(baseline, current) == []
+
+    def test_psi_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["solve"]["psi_total_dollars"] += 0.01
+        problems = bench.compare_reports(baseline, current)
+        assert len(problems) == 1
+        assert "psi_total_dollars" in problems[0]
+
+    def test_overflow_iteration_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["solve"]["overflow_iterations"] += 1
+        problems = bench.compare_reports(baseline, current)
+        assert any("overflow_iterations" in p for p in problems)
+
+    def test_config_mismatch_fails_before_solve_check(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["config"]["n_videos"] = 999
+        current["solve"]["psi_total_dollars"] += 1  # masked by config gate
+        problems = bench.compare_reports(baseline, current)
+        assert len(problems) == 1
+        assert "config.n_videos" in problems[0]
+
+    def test_different_benchmark_name_fails(self, bench, baseline):
+        problems = bench.compare_reports(baseline, {"benchmark": "other"})
+        assert len(problems) == 1
+        assert "benchmark name differs" in problems[0]
+
+
+class TestCommittedBaseline:
+    def test_baseline_has_the_gating_keys(self, bench, baseline):
+        assert baseline["benchmark"] == "phase1_speedup"
+        for key in bench._DETERMINISTIC_SOLVE_KEYS:
+            assert key in baseline["solve"]
+        for key in bench._CONFIG_KEYS:
+            assert key in baseline["config"]
+        assert baseline["config"]["quick"] is True

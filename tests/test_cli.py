@@ -1,8 +1,69 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+def _paper_env(tmp_path, *, n_videos=20, users=2, seed=2):
+    from repro import WorkloadGenerator, paper_catalog, paper_topology, units
+    from repro.io import save_environment
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(n_videos, seed=seed)
+    batch = WorkloadGenerator(
+        topo, catalog, users_per_neighborhood=users
+    ).generate(seed)
+    path = tmp_path / "env.json"
+    save_environment(path, topology=topo, catalog=catalog, batch=batch)
+    return path
+
+
+def _tight_link_env(tmp_path):
+    """An environment the base scheduler solves but that breaks the links.
+
+    Two different videos stream to IS1 at the same instant over a link that
+    only fits 1.5 streams; the scheduler ignores link bandwidth, so its
+    schedule fails end-to-end validation.
+    """
+    from repro import (
+        Request,
+        RequestBatch,
+        Topology,
+        VideoCatalog,
+        VideoFile,
+        units,
+    )
+    from repro.io import save_environment
+
+    size, playback = units.gb(2.5), units.minutes(90)
+    stream_bw = size / playback
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage(
+        "IS1", srate=units.per_gb_hour(5), capacity=units.gb(50)
+    )
+    topo.add_edge(
+        "VW", "IS1", nrate=units.per_gb(500), bandwidth=1.5 * stream_bw
+    )
+    catalog = VideoCatalog(
+        [VideoFile(v, size=size, playback=playback) for v in ("v0", "v1")]
+    )
+    batch = RequestBatch(
+        [
+            Request(units.HOUR, "v0", "u1", "IS1"),
+            Request(units.HOUR, "v1", "u2", "IS1"),
+        ]
+    )
+    path = tmp_path / "tight.json"
+    save_environment(path, topology=topo, catalog=catalog, batch=batch)
+    return path
 
 
 class TestCli:
@@ -76,6 +137,91 @@ class TestCli:
         save_environment(path, topology=topo, catalog=paper_catalog(5, seed=1))
         with pytest.raises(SystemExit, match="requests"):
             main(["run-env", str(path)])
+
+    def test_run_env_exits_nonzero_on_infeasible(self, capsys, tmp_path):
+        path = _tight_link_env(tmp_path)
+        assert main(["run-env", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out
+        assert "[bandwidth]" in out
+
+    def test_simulate(self, capsys, tmp_path):
+        path = _paper_env(tmp_path)
+        assert main(["simulate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events replayed" in out
+        assert "feasible: no violations" in out
+
+    def test_simulate_exits_nonzero_on_infeasible(self, capsys, tmp_path):
+        path = _tight_link_env(tmp_path)
+        assert main(["simulate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out
+        assert "feasible: no violations" not in out
+
+    def test_run_faults_generated_scenario(self, capsys, tmp_path):
+        path = _paper_env(tmp_path)
+        scenario = tmp_path / "scenario.json"
+        report = tmp_path / "drill.json"
+        assert (
+            main(
+                [
+                    "run-faults",
+                    str(path),
+                    "--seed",
+                    "3",
+                    "--scenario-out",
+                    str(scenario),
+                    "--report-out",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault drill" in out
+        assert "recovery feasible" in out
+        # the generated scenario replays: loading it gives the same plan
+        from repro import FaultPlan
+
+        plan = FaultPlan.load(scenario)
+        assert len(plan) == 3 and plan.seed == 3
+        doc = json.loads(report.read_text())
+        assert set(doc) == {
+            "environment",
+            "degraded",
+            "recovery",
+            "patched_violations",
+        }
+        assert doc["patched_violations"] == []
+        assert doc["recovery"]["plan"] == plan.to_dict()
+
+    def test_run_faults_from_scenario_file(self, capsys, tmp_path):
+        from repro import FaultKind, FaultPlan, FaultSpec, units
+
+        path = _paper_env(tmp_path)
+        scenario = tmp_path / "outage.json"
+        FaultPlan(
+            (
+                FaultSpec(
+                    kind=FaultKind.IS_OUTAGE,
+                    target="IS1",
+                    t_start=0.0,
+                    t_end=2 * units.DAY,
+                ),
+            ),
+            name="is1-outage",
+        ).save(scenario)
+        assert (
+            main(["run-faults", str(path), "--scenario", str(scenario)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "is1-outage" in out
+        assert "recovery feasible" in out
+
+    def test_run_faults_requires_path(self):
+        with pytest.raises(SystemExit, match="requires"):
+            main(["run-faults"])
 
     def test_report_writes_all_artifacts(self, capsys, tmp_path):
         out_dir = tmp_path / "report"
