@@ -20,9 +20,15 @@ can archive it as an artifact and diff runs over time.
 
 ``--compare BASELINE.json`` checks the run against a committed baseline
 report (see ``benchmarks/BENCH_phase1.json``): the deterministic outputs
-(Ψ totals, overflow iterations) must match bit-for-bit and the
-configurations must agree, else the process exits 2.  Wall-clock numbers
-are printed for context but never gate -- they depend on the machine.
+(Ψ totals, overflow iterations, warehouse-loss recovery outcome) must
+match bit-for-bit and the configurations must agree, else the process
+exits 2.  Wall-clock numbers are printed for context but never gate --
+they depend on the machine.
+
+Beyond Phase 1, the report also times Phase 2 (a standalone SORP pass
+over the greedy schedule) and runs a seeded warehouse-loss drill on a
+replicated two-warehouse copy of the paper topology, recording recovery
+latency plus the deterministic saved/lost/Ψ-delta outcome.
 """
 
 import argparse
@@ -119,6 +125,14 @@ _DETERMINISTIC_SOLVE_KEYS = (
 )
 #: Config keys that define the workload a baseline was taken against.
 _CONFIG_KEYS = ("n_videos", "n_requests", "users_per_neighborhood", "quick")
+#: Recovery-drill keys that must match bit-for-bit: the warehouse-loss
+#: outcome is a pure function of the seeded workload and replica map.
+_DETERMINISTIC_RECOVERY_KEYS = (
+    "requests_saved",
+    "requests_lost",
+    "impacted_videos",
+    "psi_delta_dollars",
+)
 
 
 def compare_reports(baseline: dict, current: dict) -> list[str]:
@@ -153,6 +167,13 @@ def compare_reports(baseline: dict, current: dict) -> list[str]:
                 f"solve.{key} regressed: baseline {b_solve.get(key)!r} vs "
                 f"{c_solve.get(key)!r}"
             )
+    b_rec, c_rec = baseline.get("recovery", {}), current.get("recovery", {})
+    for key in _DETERMINISTIC_RECOVERY_KEYS:
+        if b_rec.get(key) != c_rec.get(key):
+            problems.append(
+                f"recovery.{key} regressed: baseline {b_rec.get(key)!r} vs "
+                f"{c_rec.get(key)!r}"
+            )
     return problems
 
 
@@ -167,6 +188,72 @@ def _build_env(n_videos: int, users: int):
         topo, catalog, alpha=0.271, users_per_neighborhood=users
     ).generate(seed=4)
     return topo, catalog, batch
+
+
+def _time_sorp(topo, catalog, batch, repeats):
+    """Best-of-N wall time of a standalone Phase-2 (SORP) pass."""
+    from repro import resolve_overflows
+
+    best = float("inf")
+    iterations = 0
+    for _ in range(repeats):
+        cm = CostModel(topo, catalog)
+        phase1 = ParallelIndividualScheduler(cm).run(batch).schedule
+        t0 = time.perf_counter()
+        _, stats = resolve_overflows(phase1, batch, cm)
+        best = min(best, time.perf_counter() - t0)
+        iterations = stats.iterations
+    return best, iterations
+
+
+def _recovery_drill(n_videos: int, users: int):
+    """Seeded warehouse-loss drill on a replicated paper topology.
+
+    A second warehouse is grafted onto the IS7 leaf cluster, every video
+    is full-copy replicated, and the original warehouse is then lost for
+    the whole horizon.  The outcome (saved/lost/Ψ-delta) is deterministic;
+    the recovery wall time is the latency metric.
+    """
+    from repro import (
+        ContingencyScheduler,
+        FaultKind,
+        FaultPlan,
+        FaultSpec,
+        ReplicaMap,
+    )
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    topo.add_warehouse("VW2")
+    topo.add_edge("IS7", "VW2", nrate=units.per_gb(500))
+    catalog = paper_catalog(n_videos=n_videos, seed=4)
+    batch = WorkloadGenerator(
+        topo, catalog, alpha=0.271, users_per_neighborhood=users
+    ).generate(seed=4)
+    replicas = ReplicaMap.full_copy(topo, catalog)
+    scheduler = VideoScheduler(topo, catalog, replicas=replicas)
+    result = scheduler.solve(batch)
+    t_lo, t_hi = batch.span
+    plan = FaultPlan(
+        (FaultSpec(FaultKind.WAREHOUSE_LOSS, "VW", t_lo, t_hi + 1.0),),
+        name="bench-warehouse-loss",
+        seed=4,
+    )
+    t0 = time.perf_counter()
+    rec = ContingencyScheduler(scheduler.cost_model).recover(
+        result.schedule, plan, batch=batch
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "requests_saved": rec.requests_saved,
+        "requests_lost": rec.requests_lost,
+        "impacted_videos": rec.videos_resolved,
+        "psi_delta_dollars": rec.cost_delta,
+        "wall_time_seconds": wall,
+    }
 
 
 def _time_phase1(topo, catalog, batch, config, repeats):
@@ -264,6 +351,21 @@ def main(argv=None) -> int:
         f"({100 * solve.cache_hit_rate:.1f}%), "
         f"SORP share {solve.resolution.cache_stats.lookups} lookups"
     )
+
+    sorp_t, sorp_iterations = _time_sorp(topo, catalog, batch, repeats)
+    print(
+        f"SORP (Phase 2): {sorp_t:.3f}s standalone, "
+        f"{sorp_iterations} overflow iteration(s)"
+    )
+    recovery = _recovery_drill(n_videos, users)
+    print(
+        f"warehouse-loss drill: saved "
+        f"{recovery['requests_saved']}/"
+        f"{recovery['requests_saved'] + recovery['requests_lost']} requests "
+        f"over {recovery['impacted_videos']} video(s) in "
+        f"{recovery['wall_time_seconds']:.3f}s "
+        f"(psi delta {recovery['psi_delta_dollars']:+,.2f})"
+    )
     if args.json_out or args.compare:
         report = {
             "benchmark": "phase1_speedup",
@@ -296,6 +398,11 @@ def main(argv=None) -> int:
                 "cache_lookups": solve.cache_stats.lookups,
                 "overflow_iterations": solve.resolution.iterations,
             },
+            "sorp": {
+                "wall_time_seconds": sorp_t,
+                "iterations": sorp_iterations,
+            },
+            "recovery": recovery,
         }
         if args.json_out:
             with open(args.json_out, "w") as fh:

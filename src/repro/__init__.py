@@ -58,6 +58,7 @@ from repro.faults import (
     masked_topology,
 )
 from repro.obs import NULL_OBS, Observability, RunTelemetry, configure_logging
+from repro.replication import ReplicaMap
 from repro.topology import (
     ChargingBasis,
     Router,
@@ -129,6 +130,7 @@ __all__ = [
     "RecoveryResult",
     "build_degraded_report",
     "masked_topology",
+    "ReplicaMap",
     "ChargingBasis",
     "Router",
     "Topology",

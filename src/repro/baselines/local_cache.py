@@ -11,6 +11,7 @@ the cost-driven scheduler isolates the value of *pricing* the decision.
 
 from __future__ import annotations
 
+from repro.baselines.network_only import cheapest_home_route
 from repro.core.costmodel import CostModel
 from repro.core.rejective import fits_under
 from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
@@ -19,11 +20,12 @@ from repro.workload.requests import RequestBatch
 
 
 def local_cache_schedule(batch: RequestBatch, cost_model: CostModel) -> Schedule:
-    """Always-cache-at-local-IS schedule, capacity-aware, cost-blind."""
-    router = cost_model.router
+    """Always-cache-at-local-IS schedule, capacity-aware, cost-blind.
+
+    Warehouse streams come from the cheapest home warehouse of each
+    video (replica-aware on multi-warehouse topologies)."""
     topo = cost_model.topology
     catalog = cost_model.catalog
-    vw = topo.warehouse.name
     schedule = Schedule()
     # committed profiles per location, grown as residencies are placed
     committed: dict[str, list] = {s.name: [] for s in topo.storages}
@@ -44,13 +46,14 @@ def local_cache_schedule(batch: RequestBatch, cost_model: CostModel) -> Schedule
                     )
                     continue
             # direct stream from the warehouse; open a cache if it fits later
-            route = router.route(vw, loc)
+            route = cheapest_home_route(cost_model, req)
             fs.add_delivery(
                 DeliveryInfo(video_id, route.nodes, req.start_time, req)
             )
             if loc not in open_cache:
                 open_cache[loc] = ResidencyInfo(
-                    video_id, loc, vw, req.start_time, req.start_time, ()
+                    video_id, loc, route.nodes[0],
+                    req.start_time, req.start_time, (),
                 )
         for c in open_cache.values():
             if c.t_last > c.t_start:

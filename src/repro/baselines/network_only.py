@@ -5,24 +5,57 @@ against an environment *without* intermediate storage: every request is an
 independent stream from the video warehouse to the user's local storage.
 Its cost is pure network cost and scales linearly in the network charging
 rate, which is exactly the straight line the paper plots.
+
+On a replicated multi-warehouse topology each request streams from the
+cheapest *home* warehouse of its video (all warehouses, without a
+:class:`~repro.replication.ReplicaMap` on the cost model), so the baseline
+stays well-defined beyond the paper's single-VW environment.
 """
 
 from __future__ import annotations
 
 from repro.core.costmodel import CostModel
 from repro.core.schedule import DeliveryInfo, FileSchedule, Schedule
-from repro.workload.requests import RequestBatch
+from repro.errors import RoutingError, ScheduleError
+from repro.workload.requests import Request, RequestBatch
+
+
+def cheapest_home_route(cost_model: CostModel, request: Request):
+    """Cheapest-rate route from a home warehouse to the request's storage.
+
+    Ties break on warehouse name so the pick is deterministic.  Raises
+    :class:`~repro.errors.ScheduleError` when no home can reach the
+    neighborhood.
+    """
+    router = cost_model.router
+    replicas = cost_model.replicas
+    names = [w.name for w in cost_model.topology.warehouses]
+    if replicas is not None and request.video_id in replicas:
+        homes = set(replicas.homes(request.video_id))
+        names = [n for n in names if n in homes]
+    best = None
+    for name in sorted(names):
+        try:
+            route = router.route(name, request.local_storage)
+        except RoutingError:
+            continue
+        if best is None or route.rate < best.rate:
+            best = route
+    if best is None:
+        raise ScheduleError(
+            f"no home warehouse can reach {request.local_storage!r} for "
+            f"video {request.video_id!r}"
+        )
+    return best
 
 
 def network_only_schedule(batch: RequestBatch, cost_model: CostModel) -> Schedule:
     """Direct-from-warehouse schedule: one VW stream per request, no caching."""
-    router = cost_model.router
-    vw = cost_model.topology.warehouse.name
     schedule = Schedule()
     for video_id, requests in batch.by_video().items():
         fs = FileSchedule(video_id)
         for req in requests:
-            route = router.route(vw, req.local_storage)
+            route = cheapest_home_route(cost_model, req)
             fs.add_delivery(
                 DeliveryInfo(
                     video_id=video_id,

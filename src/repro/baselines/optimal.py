@@ -5,9 +5,9 @@ enumerate every schedule in the family the heuristics search over and obtain
 a true optimum to measure the heuristic's gap against (Sec. 5.5 claims the
 two-phase result is within ~30 % of optimal on average).
 
-The schedule family: every request is served from some *copy* -- the
-warehouse, or a cache at an intermediate storage that some earlier stream
-passed through.  Streams travel on cheapest-rate routes and deposit caching
+The schedule family: every request is served from some *copy* -- a home
+warehouse of its video (every warehouse, without a replica map), or a cache
+at an intermediate storage that some earlier stream passed through.  Streams travel on cheapest-rate routes and deposit caching
 opportunities at every storage they traverse; a cache's residency starts at
 the **latest deposit not later than its first service** (minimizing the
 Eq. 2/3 space-time) and is extended by each further service taken from it.
@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.core.costmodel import CostModel
 from repro.core.overflow import detect_overflows
 from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
-from repro.errors import ScheduleError
+from repro.errors import RoutingError, ScheduleError
 from repro.workload.requests import Request, RequestBatch
 
 
@@ -46,9 +46,13 @@ class OptimalScheduler:
     """Brute-force optimum over the copy-assignment schedule family.
 
     Args:
-        cost_model: Pricing + topology + catalog.
-        max_nodes: Upper bound on the enumeration size
-            ``(1 + #storages) ** #requests``; larger instances raise
+        cost_model: Pricing + topology + catalog.  A
+            :class:`~repro.replication.ReplicaMap` on the model restricts
+            each request's warehouse sources to its video's homes, so the
+            optimum is computed over the same schedule family the
+            replica-aware greedy searches.
+        max_nodes: Upper bound on the enumeration size (the product over
+            requests of ``#homes + #storages``); larger instances raise
             :class:`~repro.errors.ScheduleError` instead of hanging.
     """
 
@@ -56,16 +60,30 @@ class OptimalScheduler:
         self._cm = cost_model
         self._router = cost_model.router
         self._topo = cost_model.topology
-        self._vw = self._topo.warehouse.name
+        self._warehouses = [w.name for w in self._topo.warehouses]
+        if not self._warehouses:
+            raise ScheduleError("topology has no warehouse to serve from")
+        self._warehouse_set = frozenset(self._warehouses)
+        self._replicas = cost_model.replicas
         self._storages = [s.name for s in self._topo.storages]
         self._max_nodes = max_nodes
+
+    def _homes(self, video_id: str) -> list[str]:
+        """Warehouse sources usable for a video (all, without a map)."""
+        if self._replicas is None:
+            return self._warehouses
+        return [
+            h
+            for h in self._replicas.homes(video_id)
+            if h in self._warehouse_set
+        ]
 
     # -- public API ----------------------------------------------------------
 
     def solve(self, batch: RequestBatch, *, respect_capacity: bool = True) -> Schedule:
         """Globally optimal schedule over all requests (joint across files)."""
         requests = sorted(batch)
-        self._check_size(len(requests))
+        self._check_size(requests)
         best = self._search(requests, respect_capacity)
         if best is None:
             raise ScheduleError("no feasible schedule found (capacity too small?)")
@@ -79,7 +97,7 @@ class OptimalScheduler:
         """Capacity-ignorant optimum for a single file (Phase-1 comparison)."""
         if not requests:
             return FileSchedule(video_id)
-        self._check_size(len(requests))
+        self._check_size(requests)
         batch = RequestBatch(requests)
         schedule = self._search(sorted(batch), respect_capacity=False)
         assert schedule is not None  # warehouse fallback always feasible
@@ -87,8 +105,10 @@ class OptimalScheduler:
 
     # -- search --------------------------------------------------------------
 
-    def _check_size(self, n_requests: int) -> None:
-        space = (1 + len(self._storages)) ** n_requests
+    def _check_size(self, requests: list[Request]) -> None:
+        space = 1
+        for req in requests:
+            space *= len(self._homes(req.video_id)) + len(self._storages)
         if space > self._max_nodes:
             raise ScheduleError(
                 f"search space {space} exceeds max_nodes={self._max_nodes}; "
@@ -130,11 +150,11 @@ class OptimalScheduler:
                 return
             req = requests[idx]
             video = catalog[req.video_id]
-            for source in [self._vw] + self._storages:
+            for source in self._homes(req.video_id) + self._storages:
                 key = (req.video_id, source)
                 undo_cache = None
                 created = False
-                if source == self._vw:
+                if source in self._warehouse_set:
                     ext_cost = 0.0
                 else:
                     cs = caches.get(key)
@@ -165,7 +185,14 @@ class OptimalScheduler:
                         ext_cost = self._cm.residency_cost_for(
                             req.video_id, source, t0, req.start_time
                         )
-                route = self._router.route(source, req.local_storage)
+                try:
+                    route = self._router.route(source, req.local_storage)
+                except RoutingError:
+                    if created:
+                        del caches[key]
+                    elif undo_cache is not None:
+                        caches[key] = undo_cache
+                    continue  # this copy cannot reach the neighborhood
                 step_net = video.network_volume * route.rate
                 # record deposits along this stream's route
                 new_deposits = []
@@ -202,7 +229,8 @@ class OptimalScheduler:
             fs.add_delivery(DeliveryInfo(req.video_id, route, req.start_time, req))
         for (video_id, loc), cs in caches.items():
             fs = files.setdefault(video_id, FileSchedule(video_id))
-            source = self._vw if loc != self._vw else loc
+            homes = self._homes(video_id)
+            source = homes[0] if homes else self._warehouses[0]
             fs.add_residency(
                 ResidencyInfo(
                     video_id, loc, source, cs.t_start, cs.t_last, cs.services

@@ -25,6 +25,10 @@ seeded generation via ``--seed``/``--scenario-out``), prints the
 degraded-mode damage and the contingency recovery, optionally writes the
 machine-readable report (``--report-out``), and exits non-zero when the
 patched schedule fails validation on the fault-masked topology.
+``--kinds warehouse_loss`` drills a full warehouse outage; with
+``--replicas full`` (or ``heat:K``, or a replica-map JSON path) on a
+multi-warehouse environment the recovery re-solves every impacted request
+from the surviving homes.
 
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
@@ -180,6 +184,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="faults to draw when generating a scenario (default 3)",
     )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        metavar="KIND[,KIND...]",
+        help="restrict generated fault kinds for 'run-faults' (comma-"
+        "separated FaultKind values, e.g. 'warehouse_loss,link_down'; "
+        "default: every kind except warehouse_loss)",
+    )
+    parser.add_argument(
+        "--replicas",
+        default=None,
+        metavar="SPEC",
+        help="replica placement for the environment commands: 'full' "
+        "(every video at every warehouse), 'heat' or 'heat:K' (heat-driven "
+        "placement with degree K), or a replica-map JSON path",
+    )
     return parser
 
 
@@ -252,6 +272,56 @@ def _write_report(args: argparse.Namespace) -> None:
     _log.info("wrote %s", index)
 
 
+def _parse_replicas(spec, topology, catalog, batch, *, seed: int):
+    """Build the :class:`~repro.replication.ReplicaMap` a --replicas asks for."""
+    from repro.errors import ReplicationError
+    from repro.replication import ReplicaMap
+
+    if spec is None:
+        return None
+    try:
+        if spec == "full":
+            return ReplicaMap.full_copy(topology, catalog)
+        if spec == "heat" or spec.startswith("heat:"):
+            degree = 1
+            if spec.startswith("heat:"):
+                try:
+                    degree = int(spec.split(":", 1)[1])
+                except ValueError:
+                    raise SystemExit(
+                        f"invalid --replicas degree in {spec!r}"
+                    ) from None
+            return ReplicaMap.heat_placement(
+                topology, catalog, batch, degree=degree, seed=seed
+            )
+        return ReplicaMap.load(spec)
+    except ReplicationError as exc:
+        raise SystemExit(f"invalid --replicas {spec!r}: {exc}") from exc
+
+
+def _parse_kinds(spec):
+    """Comma-separated FaultKind values -> tuple, or None for the default."""
+    from repro.faults.plan import FaultKind
+
+    if spec is None:
+        return None
+    kinds = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            kinds.append(FaultKind(token))
+        except ValueError:
+            valid = ", ".join(k.value for k in FaultKind)
+            raise SystemExit(
+                f"unknown fault kind {token!r} (valid: {valid})"
+            ) from None
+    if not kinds:
+        raise SystemExit("--kinds names no fault kind")
+    return tuple(kinds)
+
+
 def _solve_environment(args: argparse.Namespace, command: str):
     """Load an environment file and solve it: shared by the env commands."""
     from repro.core.parallel import ParallelConfig
@@ -273,9 +343,15 @@ def _solve_environment(args: argparse.Namespace, command: str):
         )
     except ScheduleError as exc:
         raise SystemExit(f"invalid phase-1 options: {exc}") from exc
+    replicas = _parse_replicas(
+        getattr(args, "replicas", None), topology, catalog, batch,
+        seed=args.seed,
+    )
     want_telemetry = bool(args.metrics_out or args.trace_out)
     obs = Observability.on() if want_telemetry else NULL_OBS
-    scheduler = VideoScheduler(topology, catalog, parallel=parallel, obs=obs)
+    scheduler = VideoScheduler(
+        topology, catalog, parallel=parallel, obs=obs, replicas=replicas
+    )
     result = scheduler.solve(batch)
     return topology, catalog, batch, scheduler, result, obs, want_telemetry
 
@@ -433,6 +509,7 @@ def _run_faults(args: argparse.Namespace) -> int:
             seed=args.seed,
             horizon=(t0, t1 + tail),
             n_faults=args.n_faults,
+            kinds=_parse_kinds(args.kinds),
         )
         _log.info("generated %d fault(s) from seed %d", len(plan), args.seed)
     if args.scenario_out:
@@ -478,7 +555,24 @@ def _run_faults(args: argparse.Namespace) -> int:
         )
     )
 
-    masked_cm = CostModel(masked_topology(topology, plan), catalog)
+    from repro.errors import FaultError
+
+    replicas = scheduler.cost_model.replicas
+    try:
+        masked = masked_topology(topology, plan)
+        masked_cm = CostModel(
+            masked,
+            catalog,
+            replicas=(
+                replicas.restricted_to(masked.node_names)
+                if replicas is not None
+                else None
+            ),
+        )
+    except FaultError:
+        # total warehouse loss: the patched schedule holds only unimpacted
+        # files, which the healthy model can judge
+        masked_cm = scheduler.cost_model
     lost = set(recovery.lost)
     surviving = RequestBatch(r for r in batch if r not in lost)
     violations = validate_schedule(recovery.schedule, surviving, masked_cm)

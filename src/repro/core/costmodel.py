@@ -150,6 +150,13 @@ class CostModel:
             millions of times; the cache turns those into dict lookups.
         cache_limit: Entry count at which a cache is wiped and restarted
             (bounds memory; correctness is unaffected).
+        replicas: Optional :class:`~repro.replication.ReplicaMap` naming the
+            home warehouses of each video.  Pricing is unaffected -- the map
+            rides on the model so every scheduler built over it (Phase-1
+            greedy, SORP's rejective greedy, contingency re-solves, thread
+            worker views, pickled process-pool workers) restricts warehouse
+            candidates to the same homes.  ``None`` means every warehouse
+            holds every video (the single-warehouse paper model).
 
     The cache is transparent to subclasses: :meth:`network_multiplier` is
     applied *outside* the cached route rate, so time-of-day tariffs stay
@@ -168,11 +175,13 @@ class CostModel:
         *,
         cache: bool = True,
         cache_limit: int = 1 << 18,
+        replicas=None,
     ):
         if cache_limit < 1:
             raise ScheduleError(f"cache_limit must be >= 1, got {cache_limit}")
         self._topo = topology
         self._catalog = catalog
+        self._replicas = replicas
         self._router = Router(topology)
         self._cache_enabled = bool(cache)
         self._cache_limit = cache_limit
@@ -199,6 +208,11 @@ class CostModel:
     @property
     def router(self) -> Router:
         return self._router
+
+    @property
+    def replicas(self):
+        """The :class:`~repro.replication.ReplicaMap`, or ``None``."""
+        return self._replicas
 
     def __getstate__(self) -> dict:
         # Pickled models (shipped to process-pool workers) start with cold

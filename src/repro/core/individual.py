@@ -37,7 +37,7 @@ from repro.catalog.catalog import VideoCatalog
 from repro.catalog.video import VideoFile
 from repro.core.costmodel import CostModel
 from repro.core.schedule import DeliveryInfo, FileSchedule, ResidencyInfo, Schedule
-from repro.errors import ScheduleError
+from repro.errors import RoutingError, ScheduleError
 from repro.obs import COUNT_BUCKETS, NULL_OBS, Observability
 from repro.topology.routing import Route
 from repro.workload.requests import Request, RequestBatch
@@ -100,6 +100,12 @@ class IndividualScheduler:
             (every traversed storage, the default) or ``"destination"``
             (only the user's local storage).  The destination-only variant
             exists for the ablation study -- it is strictly weaker.
+        replicas: Optional :class:`~repro.replication.ReplicaMap`; defaults
+            to the cost model's map.  When set, warehouse candidates for a
+            video are restricted to its *home* warehouses present in the
+            topology -- the replica-aware IVSP picks the cheapest reachable
+            copy among homes and open caches.  ``None`` keeps the paper's
+            behaviour: every warehouse holds everything.
         obs: Observability handle (:class:`repro.obs.Observability`);
             defaults to the inert :data:`repro.obs.NULL_OBS`.  When live,
             every :meth:`schedule_file` call records an ``ivsp.video``
@@ -123,6 +129,7 @@ class IndividualScheduler:
         *,
         deposit_scope: str = "route",
         obs: Observability | None = None,
+        replicas=None,
     ):
         if deposit_scope not in ("route", "destination"):
             raise ScheduleError(
@@ -144,7 +151,9 @@ class IndividualScheduler:
         self._warehouses = tuple(w.name for w in self._topo.warehouses)
         if not self._warehouses:
             raise ScheduleError("topology has no warehouse to serve from")
+        self._warehouse_set = frozenset(self._warehouses)
         self._storage_names = frozenset(s.name for s in self._topo.storages)
+        self._replicas = replicas if replicas is not None else cost_model.replicas
 
     # -- public API ----------------------------------------------------------
 
@@ -233,6 +242,16 @@ class IndividualScheduler:
 
     # -- greedy internals ------------------------------------------------------
 
+    def _home_warehouses(self, video_id: str) -> tuple[str, ...]:
+        """Warehouse candidates for a video: its homes, or every warehouse."""
+        if self._replicas is None:
+            return self._warehouses
+        return tuple(
+            h
+            for h in self._replicas.homes(video_id)
+            if h in self._warehouse_set
+        )
+
     def _best_candidate(
         self,
         video: VideoFile,
@@ -240,14 +259,26 @@ class IndividualScheduler:
         residencies: list[ResidencyInfo],
     ) -> _Candidate:
         best: _Candidate | None = None
+        if req.local_storage not in self._cm.topology:
+            # an unknown destination is a malformed request, not a copy that
+            # happens to be unreachable -- keep raising, never skip
+            raise RoutingError(f"unknown destination node {req.local_storage!r}")
         volume = video.network_volume * self._cm.network_multiplier(
             req.start_time
         )
         t0, t1 = req.start_time, req.start_time + video.playback
-        for w in self._warehouses:
-            route = self._route_policy.select(
-                w, req.local_storage, t0, t1, video.bandwidth
-            )
+        for w in self._home_warehouses(video.video_id):
+            # On a fault-masked (possibly partitioned) topology a warehouse
+            # may not reach this neighborhood at all; an unreachable copy is
+            # simply not a candidate.  Ties never depend on iteration order
+            # (the sort key includes the source name), so skipping here
+            # keeps schedules bit-identical across backends.
+            try:
+                route = self._route_policy.select(
+                    w, req.local_storage, t0, t1, video.bandwidth
+                )
+            except RoutingError:
+                continue
             if route is None:
                 continue
             cand = _Candidate(volume * route.rate, route.hops, 1, w, route, -1)
@@ -261,9 +292,12 @@ class IndividualScheduler:
                 extended, video, replacing=c
             ):
                 continue
-            route = self._route_policy.select(
-                c.location, req.local_storage, t0, t1, video.bandwidth
-            )
+            try:
+                route = self._route_policy.select(
+                    c.location, req.local_storage, t0, t1, video.bandwidth
+                )
+            except RoutingError:
+                continue
             if route is None:
                 continue
             ext_cost = self._cm.residency_cost_for(
@@ -277,8 +311,10 @@ class IndividualScheduler:
             if best is None or cand.sort_key < best.sort_key:
                 best = cand
         if best is None:
-            # with the default route policy the warehouse is always feasible;
-            # a restrictive policy (e.g. bandwidth-aware) may exhaust options
+            # with the default route policy on a healthy topology some home
+            # warehouse is always feasible; a restrictive policy (e.g.
+            # bandwidth-aware), a partitioned masked topology, or a video
+            # whose every home failed may exhaust options
             raise ScheduleError(f"no feasible source for request {req}")
         if not math.isfinite(best.cost):
             raise ScheduleError(f"non-finite candidate cost for request {req}")

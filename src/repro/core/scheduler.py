@@ -34,6 +34,7 @@ from repro.core.parallel import ParallelConfig, ParallelIndividualScheduler
 from repro.core.schedule import Schedule
 from repro.core.sorp import ResolutionStats, resolve_overflows
 from repro.core.spacefunc import UsageTimeline
+from repro.errors import ScheduleError
 from repro.obs import NULL_OBS, Observability
 from repro.topology.graph import Topology
 from repro.topology.validation import validate_topology
@@ -132,6 +133,11 @@ class VideoScheduler:
             schedules -- see :mod:`repro.core.parallel`.
         obs: Observability handle (:class:`repro.obs.Observability`);
             defaults to the inert :data:`repro.obs.NULL_OBS`.
+        replicas: Optional :class:`~repro.replication.ReplicaMap` homing
+            each video at a subset of the warehouses; the Phase-1 greedy
+            then serves each request from the cheapest reachable copy among
+            the video's homes and open caches.  Mutually exclusive with a
+            ``cost_model`` that already carries a different map.
     """
 
     def __init__(
@@ -143,13 +149,29 @@ class VideoScheduler:
         cost_model: CostModel | None = None,
         parallel: ParallelConfig | None = None,
         obs: Observability | None = None,
+        replicas=None,
     ):
-        validate_topology(topology)
+        if (
+            cost_model is not None
+            and replicas is not None
+            and cost_model.replicas is not replicas
+        ):
+            raise ScheduleError(
+                "pass replicas either directly or on the cost model, not both"
+            )
+        effective_replicas = (
+            replicas
+            if replicas is not None
+            else (cost_model.replicas if cost_model is not None else None)
+        )
+        validate_topology(topology, replicas=effective_replicas)
         self.topology = topology
         self.catalog = catalog
         self.heat_metric = heat_metric
         self.cost_model = (
-            cost_model if cost_model is not None else CostModel(topology, catalog)
+            cost_model
+            if cost_model is not None
+            else CostModel(topology, catalog, replicas=replicas)
         )
         self.parallel = parallel if parallel is not None else ParallelConfig()
         self.obs = obs if obs is not None else NULL_OBS

@@ -53,3 +53,7 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """Malformed fault scenario, or a fault leaves the system unrecoverable."""
+
+
+class ReplicationError(ReproError):
+    """Malformed replica map: unknown video, non-warehouse home, no coverage."""

@@ -84,13 +84,21 @@ class RollingScheduler:
         cost_model: CostModel | None = None,
         parallel: ParallelConfig | None = None,
         obs: Observability | None = None,
+        replicas=None,
     ):
-        validate_topology(topology)
+        effective_replicas = (
+            replicas
+            if replicas is not None
+            else (cost_model.replicas if cost_model is not None else None)
+        )
+        validate_topology(topology, replicas=effective_replicas)
         self.topology = topology
         self.catalog = catalog
         self.heat_metric = heat_metric
         self.cost_model = (
-            cost_model if cost_model is not None else CostModel(topology, catalog)
+            cost_model
+            if cost_model is not None
+            else CostModel(topology, catalog, replicas=replicas)
         )
         self.obs = obs if obs is not None else NULL_OBS
         self._engine = ParallelIndividualScheduler(

@@ -9,8 +9,10 @@ Given a committed schedule and a :class:`~repro.faults.plan.FaultPlan`, the
 2. builds a **masked** topology/cost model (failed resources removed,
    degraded ones shrunk, see :func:`repro.faults.inject.masked_topology`);
 3. splits the impacted files' requests into **lost** (the user's local
-   storage is down or unreachable from every surviving warehouse -- no
-   schedule can serve them) and **recoverable**;
+   storage is down or unreachable from every surviving *home* of the
+   video's replica set -- no schedule can serve them) and **recoverable**;
+   without a :class:`~repro.replication.ReplicaMap` on the cost model every
+   surviving warehouse counts as a home, the single-warehouse behaviour;
 4. re-solves *only* the recoverable impacted requests through the existing
    parallel Phase-1 + SORP machinery against the masked model, grafting the
    fresh per-file schedules over the old ones;
@@ -20,6 +22,13 @@ Given a committed schedule and a :class:`~repro.faults.plan.FaultPlan`, the
 
 Unimpacted files are untouched bit-for-bit: recovery is incremental, and the
 same seeded plan yields the same patched schedule on every Phase-1 backend.
+
+A :attr:`~repro.faults.plan.FaultKind.WAREHOUSE_LOSS` removes a warehouse
+node entirely; with replicated warehouses recovery re-solves every impacted
+request from the surviving homes.  When the plan downs *every* warehouse the
+impacted requests are all lost but recovery still returns gracefully with
+the unimpacted files intact (only :func:`~repro.faults.inject.masked_topology`
+itself insists on a standing warehouse).
 """
 
 from __future__ import annotations
@@ -195,8 +204,8 @@ class ContingencyScheduler:
             batch: The cycle's request batch; when omitted it is
                 reconstructed from the schedule's own deliveries.
 
-        Raises:
-            FaultError: When the plan leaves no warehouse standing.
+        A plan that downs every warehouse does not raise: every impacted
+        request is reported lost and the unimpacted files survive verbatim.
         """
         topology = self._cm.topology
         effects = combined_effects(topology, plan)
@@ -241,14 +250,55 @@ class ContingencyScheduler:
                 backend=self._parallel.backend,
             )
 
-        masked = masked_topology(topology, plan)  # raises if no warehouse
-        masked_cm = CostModel(masked, self._cm.catalog)
-        router = Router(masked)
-        servable: set[str] = set()
-        for w in masked.warehouses:
-            servable |= router.reachable(w.name)
-
         impacted_set = set(impacted)
+        replicas = self._cm.replicas
+        if all(
+            w.name in effects.down_nodes for w in topology.warehouses
+        ):
+            # Total warehouse loss: no copy of anything survives, so every
+            # impacted request is lost.  Unimpacted files keep serving from
+            # their already-filled caches verbatim.
+            patched = Schedule(
+                fs for fs in schedule if fs.video_id not in impacted_set
+            )
+            return RecoveryResult(
+                plan=plan,
+                schedule=patched,
+                impacted=impacted,
+                saved=(),
+                lost=tuple(r for r in batch if r.video_id in impacted_set),
+                cost_before=cost_before,
+                cost_after=self._cm.schedule_cost(patched),
+                resolution=None,
+                backend=self._parallel.backend,
+            )
+
+        masked = masked_topology(topology, plan)
+        masked_cm = CostModel(
+            masked,
+            self._cm.catalog,
+            replicas=(
+                replicas.restricted_to(masked.node_names)
+                if replicas is not None
+                else None
+            ),
+        )
+        router = Router(masked)
+        # reachable set of each surviving warehouse: a request is servable
+        # iff its neighborhood is reachable from a surviving *home* of its
+        # video (all warehouses count as homes without a replica map)
+        reach = {w.name: router.reachable(w.name) for w in masked.warehouses}
+
+        def servable(r: Request) -> bool:
+            homes = (
+                replicas.homes(r.video_id)
+                if replicas is not None
+                else tuple(reach)
+            )
+            return any(
+                r.local_storage in reach[h] for h in homes if h in reach
+            )
+
         saved: list[Request] = []
         lost: list[Request] = []
         surviving: list[Request] = []
@@ -256,7 +306,7 @@ class ContingencyScheduler:
             if r.video_id not in impacted_set:
                 surviving.append(r)
                 continue
-            if r.local_storage in servable:
+            if servable(r):
                 saved.append(r)
                 surviving.append(r)
             else:

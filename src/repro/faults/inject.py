@@ -116,6 +116,13 @@ def _apply(builder: _EffectsBuilder, topology: Topology, fault: FaultSpec) -> No
             )
         for neighbor in topology.neighbors(spec.name):
             builder.scale_bandwidth(edge_key(spec.name, neighbor), fault.severity)
+    elif kind is FaultKind.WAREHOUSE_LOSS:
+        spec = topology.node(_require_node(topology, fault))
+        if not spec.is_warehouse:
+            raise FaultError(
+                f"warehouse_loss target {spec.name!r} is not a warehouse"
+            )
+        builder.down_nodes.add(spec.name)
     elif kind is FaultKind.LINK_DOWN:
         builder.down_edges.add(_require_edge(topology, fault))
     elif kind is FaultKind.LINK_DEGRADED:

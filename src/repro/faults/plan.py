@@ -36,11 +36,17 @@ class FaultKind(enum.Enum):
     LINK_DEGRADED = "link_degraded"  # a link keeps only severity * bandwidth
     WAREHOUSE_BROWNOUT = "warehouse_brownout"  # warehouse egress degraded
     CAPACITY_SHRINK = "capacity_shrink"  # a storage keeps severity * capacity
+    WAREHOUSE_LOSS = "warehouse_loss"  # a warehouse is fully down (site loss)
 
 
 #: Kinds whose target is a node name.
 NODE_KINDS = frozenset(
-    {FaultKind.IS_OUTAGE, FaultKind.WAREHOUSE_BROWNOUT, FaultKind.CAPACITY_SHRINK}
+    {
+        FaultKind.IS_OUTAGE,
+        FaultKind.WAREHOUSE_BROWNOUT,
+        FaultKind.CAPACITY_SHRINK,
+        FaultKind.WAREHOUSE_LOSS,
+    }
 )
 #: Kinds whose target is an undirected link ``(a, b)``.
 LINK_KINDS = frozenset({FaultKind.LINK_DOWN, FaultKind.LINK_DEGRADED})
@@ -109,7 +115,11 @@ class FaultSpec:
     @property
     def is_total(self) -> bool:
         """Whether the target resource is completely unusable while faulted."""
-        if self.kind in (FaultKind.IS_OUTAGE, FaultKind.LINK_DOWN):
+        if self.kind in (
+            FaultKind.IS_OUTAGE,
+            FaultKind.LINK_DOWN,
+            FaultKind.WAREHOUSE_LOSS,
+        ):
             return True
         return self.severity == 0.0
 
@@ -290,6 +300,8 @@ class FaultPlan:
         warehouses = sorted(w.name for w in topology.warehouses)
         edges = sorted(e.key for e in topology.edges)
         if kinds is None:
+            # WAREHOUSE_LOSS is opt-in (pass kinds= explicitly): adding it
+            # here would reshuffle every seeded plan generated so far.
             kinds = (
                 FaultKind.IS_OUTAGE,
                 FaultKind.LINK_DOWN,
@@ -301,6 +313,7 @@ class FaultPlan:
             FaultKind.IS_OUTAGE: storages,
             FaultKind.CAPACITY_SHRINK: storages,
             FaultKind.WAREHOUSE_BROWNOUT: warehouses,
+            FaultKind.WAREHOUSE_LOSS: warehouses,
             FaultKind.LINK_DOWN: edges,
             FaultKind.LINK_DEGRADED: edges,
         }
@@ -314,7 +327,11 @@ class FaultPlan:
             target = rng.choice(pools[kind])
             duration = span * rng.uniform(*duration_range)
             start = t0 + rng.uniform(0.0, max(span - duration, 0.0))
-            if kind in (FaultKind.IS_OUTAGE, FaultKind.LINK_DOWN):
+            if kind in (
+                FaultKind.IS_OUTAGE,
+                FaultKind.LINK_DOWN,
+                FaultKind.WAREHOUSE_LOSS,
+            ):
                 severity = 0.0
             else:
                 severity = rng.uniform(*severity_range)

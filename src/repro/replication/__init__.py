@@ -1,0 +1,5 @@
+"""Replica placement for multi-warehouse VOR (see :mod:`.replica`)."""
+
+from repro.replication.replica import ReplicaMap
+
+__all__ = ["ReplicaMap"]

@@ -122,6 +122,11 @@ class VORService:
             ``ivsp``/``sorp``/...), pipeline counters, and per-IS peak
             gauges, and attaches a :class:`repro.obs.RunTelemetry`
             snapshot to the returned report.
+        replicas: Optional :class:`~repro.replication.ReplicaMap` homing
+            each title at a subset of the warehouses; scheduling then
+            serves every request from the cheapest reachable copy, and
+            :meth:`amend_cycle` re-solves against the surviving replica
+            set after a warehouse loss.
     """
 
     def __init__(
@@ -135,15 +140,26 @@ class VORService:
         warehouse: WarehouseSpec | None = None,
         parallel: ParallelConfig | None = None,
         obs: Observability | None = None,
+        replicas=None,
     ):
         if lead_time < 0:
             raise ScheduleError(f"lead_time must be >= 0, got {lead_time}")
+        if (
+            cost_model is not None
+            and replicas is not None
+            and cost_model.replicas is not replicas
+        ):
+            raise ScheduleError(
+                "pass replicas either directly or on the cost model, not both"
+            )
         self.topology = topology
         self.catalog = catalog
         self.lead_time = lead_time
         self.obs = obs if obs is not None else NULL_OBS
         self.cost_model = (
-            cost_model if cost_model is not None else CostModel(topology, catalog)
+            cost_model
+            if cost_model is not None
+            else CostModel(topology, catalog, replicas=replicas)
         )
         self._rolling = RollingScheduler(
             topology,
@@ -272,8 +288,16 @@ class VORService:
             patched = recovery.schedule
             with self.obs.tracer.span("billing"):
                 billing = allocate_costs(patched, self.cost_model)
+            masked = masked_topology(self.topology, plan)
+            replicas = self.cost_model.replicas
             masked_cm = CostModel(
-                masked_topology(self.topology, plan), self.catalog
+                masked,
+                self.catalog,
+                replicas=(
+                    replicas.restricted_to(masked.node_names)
+                    if replicas is not None
+                    else None
+                ),
             )
             lost = set(recovery.lost)
             surviving = RequestBatch(

@@ -15,7 +15,11 @@ records (empty = feasible):
   every storage (the scheduler's own model);
 * **link bandwidth** -- concurrent streams on a link stay within its
   bandwidth, when finite (the base paper leaves links uncapacitated; the
-  bandwidth extension uses this check).
+  bandwidth extension uses this check);
+* **replica coverage** -- with a :class:`~repro.replication.ReplicaMap`
+  (passed explicitly or carried by the cost model), every warehouse-sourced
+  delivery and residency fill must come from a *home* warehouse of its
+  video: a copy cannot be served from a site that never held it.
 
 With ``faults=`` (a :class:`~repro.faults.plan.FaultPlan`), the schedule is
 additionally replayed in degraded mode and every dropped/late service,
@@ -39,7 +43,7 @@ from repro.workload.requests import RequestBatch
 class Violation:
     """One feasibility violation found in a schedule."""
 
-    kind: str  # "coverage" | "causality" | "capacity" | "bandwidth" | "fault-*"
+    kind: str  # "coverage" | "causality" | "capacity" | "bandwidth" | "replica" | "fault-*"
     message: str
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -54,6 +58,7 @@ def validate_schedule(
     check_links: bool = True,
     trusted_residencies=(),
     faults=None,
+    replicas=None,
 ) -> list[Violation]:
     """Run every feasibility check; return all violations found.
 
@@ -66,7 +71,12 @@ def validate_schedule(
 
     ``faults`` optionally names a :class:`~repro.faults.plan.FaultPlan`;
     the schedule is then also replayed in degraded mode and every service
-    the plan breaks is reported as a ``fault-*`` violation.
+    the plan breaks is reported as a ``fault-*`` violation.  A fault that
+    downs a warehouse surfaces as ``fault-warehouse-loss``.
+
+    ``replicas`` optionally names a :class:`~repro.replication.ReplicaMap`
+    (default: the cost model's map); warehouse sources outside a video's
+    home set are reported as ``replica`` violations.
     """
     violations: list[Violation] = []
     violations.extend(_check_coverage(schedule, batch))
@@ -76,6 +86,10 @@ def validate_schedule(
     violations.extend(_check_capacity(schedule, cost_model))
     if check_links:
         violations.extend(_check_links(schedule, cost_model))
+    if replicas is None:
+        replicas = cost_model.replicas
+    if replicas is not None:
+        violations.extend(_check_replicas(schedule, cost_model, replicas))
     if faults is not None:
         violations.extend(fault_violations(schedule, cost_model, faults))
     return violations
@@ -98,7 +112,7 @@ def fault_violations(schedule, cost_model, plan) -> list[Violation]:
     for i in report.dropped:
         out.append(
             Violation(
-                "fault-drop",
+                _impact_kind(i, "fault-drop"),
                 f"request {i.user_id}/{i.video_id}@{i.start_time:g} dropped: "
                 f"{i.resource} down ({i.fault})",
             )
@@ -106,7 +120,7 @@ def fault_violations(schedule, cost_model, plan) -> list[Violation]:
     for i in report.late:
         out.append(
             Violation(
-                "fault-late",
+                _impact_kind(i, "fault-late"),
                 f"request {i.user_id}/{i.video_id}@{i.start_time:g} delayed "
                 f"{i.delay:g}s: {i.resource} down mid-stream ({i.fault})",
             )
@@ -134,6 +148,55 @@ def fault_violations(schedule, cost_model, plan) -> list[Violation]:
                 f"capacity {ss.effective_capacity:g} during {ss.fault}",
             )
         )
+    return out
+
+
+def _impact_kind(impact, default: str) -> str:
+    """Violation kind of a service impact: warehouse losses get their own.
+
+    A service broken by a downed *warehouse* is a survivability event (the
+    archive itself is gone), not a mere delivery drop, so it reports as
+    ``fault-warehouse-loss`` -- replica-aware recovery is the remedy.
+    """
+    from repro.faults.plan import FaultKind
+
+    if impact.fault.startswith(f"{FaultKind.WAREHOUSE_LOSS.value}:"):
+        return "fault-warehouse-loss"
+    return default
+
+
+def _check_replicas(
+    schedule: Schedule, cost_model: CostModel, replicas
+) -> list[Violation]:
+    """Warehouse-sourced schedule elements must come from home warehouses."""
+    out: list[Violation] = []
+    warehouses = {w.name for w in cost_model.topology.warehouses}
+    for fs in schedule:
+        homes = set(replicas.homes(fs.video_id)) if fs.video_id in replicas else None
+        for d in fs.deliveries:
+            src = d.source
+            if src in warehouses and homes is not None and src not in homes:
+                out.append(
+                    Violation(
+                        "replica",
+                        f"delivery of {d.video_id} from {src}@{d.start_time:g}"
+                        f" but the video is homed at {sorted(homes)}",
+                    )
+                )
+        for c in fs.residencies:
+            if (
+                c.source in warehouses
+                and homes is not None
+                and c.source not in homes
+            ):
+                out.append(
+                    Violation(
+                        "replica",
+                        f"residency of {c.video_id} at {c.location} filled "
+                        f"from {c.source} but the video is homed at "
+                        f"{sorted(homes)}",
+                    )
+                )
     return out
 
 

@@ -16,14 +16,21 @@ from repro.topology.graph import Topology
 from repro.topology.routing import Router
 
 
-def validate_topology(topology: Topology) -> None:
+def validate_topology(topology: Topology, *, replicas=None) -> None:
     """Raise :class:`~repro.errors.TopologyError` if ``topology`` is unusable.
 
     Checks:
         * at least one warehouse and at least one storage node exist;
-        * every node is reachable from every warehouse (single component);
+        * every node is reachable from every warehouse (single component --
+          this is the multi-root guarantee replica-aware scheduling relies
+          on: any home warehouse can serve any neighborhood);
         * all edge rates, storage rates and capacities are finite;
         * no storage has non-positive capacity.
+
+    With ``replicas`` (a :class:`~repro.replication.ReplicaMap`) the
+    placement is validated against the topology too: every home must name a
+    warehouse and every video must keep at least one home (raises
+    :class:`~repro.errors.ReplicationError` otherwise).
     """
     warehouses = topology.warehouses
     if not warehouses:
@@ -50,3 +57,6 @@ def validate_topology(topology: Topology) -> None:
             raise TopologyError(
                 f"nodes unreachable from warehouse {wh.name!r}: {sorted(missing)}"
             )
+
+    if replicas is not None:
+        replicas.validate(topology)

@@ -132,6 +132,115 @@ class TestHeuristicVsOptimal:
         )
 
 
+def _replicated_instance(seed: int):
+    """Tiny two-warehouse chain with a seeded degree-1/2 replica map."""
+    from repro import ReplicaMap, Topology
+
+    rng = random.Random(10_000 + seed)
+    topo = Topology()
+    topo.add_warehouse("VW1")
+    n_storages = rng.randint(2, 3)
+    prev = "VW1"
+    for i in range(1, n_storages + 1):
+        topo.add_storage(
+            f"IS{i}",
+            srate=rng.uniform(1e-12, 1e-10),
+            capacity=1e15,
+        )
+        topo.add_edge(prev, f"IS{i}", nrate=rng.uniform(1e-9, 1e-7))
+        prev = f"IS{i}"
+    topo.add_warehouse("VW2")
+    topo.add_edge(prev, "VW2", nrate=rng.uniform(1e-9, 1e-7))
+
+    storages = [s.name for s in topo.storages]
+    n_videos = rng.randint(1, 3)
+    catalog = VideoCatalog(
+        [
+            VideoFile(
+                f"v{i}",
+                size=rng.uniform(5e8, 5e9),
+                playback=rng.uniform(1800.0, 7200.0),
+            )
+            for i in range(n_videos)
+        ]
+    )
+    replicas = ReplicaMap(
+        {
+            f"v{i}": tuple(rng.sample(["VW1", "VW2"], rng.randint(1, 2)))
+            for i in range(n_videos)
+        },
+        seed=seed,
+    )
+    n_requests = rng.randint(2, 5)
+    requests = [
+        Request(
+            start_time=rng.uniform(0.0, 6 * 3600.0),
+            video_id=f"v{rng.randrange(n_videos)}",
+            user_id=f"u{i}",
+            local_storage=rng.choice(storages),
+        )
+        for i in range(n_requests)
+    ]
+    return topo, catalog, replicas, RequestBatch(requests)
+
+
+class TestReplicaAwareVsOptimal:
+    """Replica-restricted heuristic vs the exhaustive optimum.
+
+    With a replica map on the cost model both searches draw warehouse
+    sources from the same (restricted) home sets, so ``optimal <=
+    heuristic`` must still hold instance by instance.
+    """
+
+    @pytest.fixture(scope="class")
+    def replicated_instances(self):
+        return [_replicated_instance(seed) for seed in range(N_INSTANCES)]
+
+    def test_optimal_never_exceeds_heuristic(self, replicated_instances):
+        from repro.baselines import OptimalScheduler
+
+        for i, (topo, catalog, replicas, batch) in enumerate(
+            replicated_instances
+        ):
+            cm = CostModel(topo, catalog, replicas=replicas)
+            heuristic = VideoScheduler(
+                topo, catalog, cost_model=cm
+            ).solve(batch)
+            optimal = OptimalScheduler(cm).optimal_cost(batch)
+            assert optimal <= heuristic.total_cost + 1e-9, f"instance {i}"
+
+    def test_both_respect_the_replica_map(self, replicated_instances):
+        """Neither search may serve a video from a non-home warehouse."""
+        from repro.baselines import OptimalScheduler
+        from repro.sim import validate_schedule
+
+        topo, catalog, replicas, batch = replicated_instances[0]
+        cm = CostModel(topo, catalog, replicas=replicas)
+        heuristic = VideoScheduler(topo, catalog, cost_model=cm).solve(batch)
+        optimal = OptimalScheduler(cm).solve(batch)
+        for schedule in (heuristic.schedule, optimal):
+            replica_violations = [
+                v
+                for v in validate_schedule(schedule, batch, cm)
+                if v.kind == "replica"
+            ]
+            assert replica_violations == []
+
+    def test_full_copy_map_matches_bare_multi_warehouse(self):
+        """A full-copy map restricts nothing: the optimum is unchanged."""
+        from repro import ReplicaMap
+        from repro.baselines import OptimalScheduler
+
+        topo, catalog, _, batch = _replicated_instance(0)
+        bare = CostModel(topo, catalog)
+        full = CostModel(
+            topo, catalog, replicas=ReplicaMap.full_copy(topo, catalog)
+        )
+        assert OptimalScheduler(bare).optimal_cost(batch) == pytest.approx(
+            OptimalScheduler(full).optimal_cost(batch)
+        )
+
+
 class TestCachedVsUncachedPricing:
     def test_exact_equality_on_all_instances(self, instances):
         for topo, catalog, batch in instances:

@@ -77,6 +77,16 @@ class TestEffectsOf:
         with pytest.raises(FaultError, match="not a warehouse"):
             effects_of(_topo(), _fault(FaultKind.WAREHOUSE_BROWNOUT, "IS1"))
 
+    def test_warehouse_loss_downs_the_node(self):
+        eff = effects_of(_topo(), _fault(FaultKind.WAREHOUSE_LOSS, "VW"))
+        assert eff.down_nodes == {"VW"}
+        assert not eff.down_edges and not eff.bandwidth_factors
+        assert eff.touches_node("VW") and not eff.touches_node("IS1")
+
+    def test_warehouse_loss_rejects_storage_target(self):
+        with pytest.raises(FaultError, match="not a warehouse"):
+            effects_of(_topo(), _fault(FaultKind.WAREHOUSE_LOSS, "IS1"))
+
     def test_capacity_shrink(self):
         eff = effects_of(
             _topo(), _fault(FaultKind.CAPACITY_SHRINK, "IS2", 0.25)
@@ -157,6 +167,24 @@ class TestMaskedTopology:
         assert masked.charging_basis == topo.charging_basis
         assert masked.node("IS2").srate == pytest.approx(0.01)
         assert masked.edge("VW", "IS2").nrate == pytest.approx(0.001)
+
+    def test_warehouse_loss_removes_node_with_second_standing(self):
+        topo = _topo()
+        topo.add_warehouse("VW2")
+        topo.add_edge("IS2", "VW2", nrate=0.001, bandwidth=50.0)
+        masked = masked_topology(
+            topo, _fault(FaultKind.WAREHOUSE_LOSS, "VW")
+        )
+        assert "VW" not in masked
+        assert not masked.has_edge("VW", "IS1")
+        assert "VW2" in masked and masked.has_edge("IS2", "VW2")
+        assert len(masked.warehouses) == 1
+
+    def test_losing_the_only_warehouse_is_an_error(self):
+        """Total archive loss cannot be masked into a servable topology;
+        graceful handling lives in ContingencyScheduler, not here."""
+        with pytest.raises(FaultError, match="no warehouse standing"):
+            masked_topology(_topo(), _fault(FaultKind.WAREHOUSE_LOSS, "VW"))
 
     def test_no_warehouse_left_is_an_error(self):
         topo = Topology()

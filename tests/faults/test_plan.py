@@ -72,6 +72,7 @@ class TestFaultSpec:
             kind=FaultKind.LINK_DEGRADED, target=("VW", "IS1"), severity=0.4
         ).is_total
         assert _spec(kind=FaultKind.WAREHOUSE_BROWNOUT, target="VW").is_total
+        assert _spec(kind=FaultKind.WAREHOUSE_LOSS, target="VW").is_total
 
 
 class TestFaultPlan:
@@ -173,3 +174,29 @@ class TestGenerate:
             kinds=(FaultKind.LINK_DEGRADED,),
         )
         assert {f.kind for f in plan} == {FaultKind.LINK_DEGRADED}
+
+    def test_warehouse_loss_is_opt_in(self):
+        """Default generation never downs a warehouse -- seeded plans from
+        before the replication work must replay unchanged."""
+        topo = worked_example_topology()
+        for seed in range(6):
+            plan = FaultPlan.generate(
+                topo, seed=seed, horizon=(0.0, 100.0), n_faults=8
+            )
+            assert FaultKind.WAREHOUSE_LOSS not in {f.kind for f in plan}
+
+    def test_warehouse_loss_generation_targets_warehouses(self):
+        topo = worked_example_topology()
+        plan = FaultPlan.generate(
+            topo,
+            seed=4,
+            horizon=(0.0, 10.0),
+            n_faults=4,
+            kinds=(FaultKind.WAREHOUSE_LOSS,),
+        )
+        warehouses = {w.name for w in topo.warehouses}
+        assert len(plan) == 4
+        for f in plan:
+            assert f.kind is FaultKind.WAREHOUSE_LOSS
+            assert f.target in warehouses
+            assert f.severity == 0.0

@@ -144,3 +144,114 @@ class TestViolationKinds:
         fs = FileSchedule("v")
         fs.add_delivery(_delivery(r, ("VW", "IS1")))
         assert validate_schedule(Schedule([fs]), RequestBatch([r]), cm) == []
+
+    def test_fault_warehouse_loss(self, catalog):
+        """A service broken by a downed warehouse gets its own kind."""
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        cm = CostModel(_topology(), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.WAREHOUSE_LOSS, "VW", 0.0, 100.0),), seed=0
+        )
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r]), cm, faults=plan
+        )
+        assert "fault-warehouse-loss" in _kinds(violations)
+        loss = [v for v in violations if v.kind == "fault-warehouse-loss"]
+        assert "VW" in loss[0].message
+
+    def test_is_outage_keeps_generic_fault_kind(self, catalog):
+        """Non-warehouse faults still report plain fault-drop/late."""
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        cm = CostModel(_topology(), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.IS_OUTAGE, "IS1", 0.0, 100.0),), seed=0
+        )
+        violations = validate_schedule(
+            Schedule([fs]), RequestBatch([r]), cm, faults=plan
+        )
+        kinds = _kinds(violations)
+        assert "fault-warehouse-loss" not in kinds
+        assert kinds & {"fault-drop", "fault-late"}
+
+    def test_replica_violation_delivery(self, catalog):
+        """Serving from a warehouse that never held the video."""
+        from repro import ReplicaMap
+
+        topo = _topology()
+        topo.add_warehouse("VW2")
+        topo.add_edge("IS2", "VW2", nrate=0.001)
+        cm = CostModel(topo, catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        violations = validate_schedule(
+            Schedule([fs]),
+            RequestBatch([r]),
+            cm,
+            replicas=ReplicaMap({"v": ("VW2",)}),
+        )
+        assert _kinds(violations) == {"replica"}
+        assert "homed at ['VW2']" in violations[0].message
+
+    def test_replica_violation_residency_fill(self, catalog):
+        """A cache filled from a non-home warehouse is also flagged."""
+        from repro import ReplicaMap
+
+        topo = _topology()
+        topo.add_warehouse("VW2")
+        topo.add_edge("IS2", "VW2", nrate=0.001)
+        cm = CostModel(topo, catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW2", "IS2", "IS1")))
+        fs.add_residency(
+            ResidencyInfo(
+                "v", "IS1", "VW", t_start=0.0, t_last=0.0,
+                service_list=("u1",),
+            )
+        )
+        violations = validate_schedule(
+            Schedule([fs]),
+            RequestBatch([r]),
+            cm,
+            replicas=ReplicaMap({"v": ("VW2",)}),
+        )
+        assert _kinds(violations) == {"replica"}
+        assert "residency" in violations[0].message
+
+    def test_replica_map_on_cost_model_is_picked_up(self, catalog):
+        """validate_schedule defaults to the model's own map."""
+        from repro import ReplicaMap
+
+        topo = _topology()
+        topo.add_warehouse("VW2")
+        topo.add_edge("IS2", "VW2", nrate=0.001)
+        cm = CostModel(topo, catalog, replicas=ReplicaMap({"v": ("VW2",)}))
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        violations = validate_schedule(Schedule([fs]), RequestBatch([r]), cm)
+        assert _kinds(violations) == {"replica"}
+
+    def test_home_warehouse_source_is_clean(self, catalog):
+        from repro import ReplicaMap
+
+        cm = CostModel(_topology(), catalog)
+        r = Request(0.0, "v", "u1", "IS1")
+        fs = FileSchedule("v")
+        fs.add_delivery(_delivery(r, ("VW", "IS1")))
+        violations = validate_schedule(
+            Schedule([fs]),
+            RequestBatch([r]),
+            cm,
+            replicas=ReplicaMap({"v": ("VW",)}),
+        )
+        assert violations == []

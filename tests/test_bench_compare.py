@@ -68,6 +68,27 @@ class TestCompareReports:
         assert len(problems) == 1
         assert "benchmark name differs" in problems[0]
 
+    def test_recovery_outcome_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["recovery"]["requests_saved"] -= 1
+        current["recovery"]["requests_lost"] += 1
+        problems = bench.compare_reports(baseline, current)
+        assert any("recovery.requests_saved" in p for p in problems)
+        assert any("recovery.requests_lost" in p for p in problems)
+
+    def test_recovery_psi_delta_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["recovery"]["psi_delta_dollars"] += 0.01
+        problems = bench.compare_reports(baseline, current)
+        assert len(problems) == 1
+        assert "recovery.psi_delta_dollars" in problems[0]
+
+    def test_recovery_and_sorp_timing_do_not_gate(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["recovery"]["wall_time_seconds"] *= 100
+        current["sorp"]["wall_time_seconds"] *= 100
+        assert bench.compare_reports(baseline, current) == []
+
 
 class TestCommittedBaseline:
     def test_baseline_has_the_gating_keys(self, bench, baseline):
@@ -77,3 +98,11 @@ class TestCommittedBaseline:
         for key in bench._CONFIG_KEYS:
             assert key in baseline["config"]
         assert baseline["config"]["quick"] is True
+
+    def test_baseline_has_the_recovery_keys(self, bench, baseline):
+        for key in bench._DETERMINISTIC_RECOVERY_KEYS:
+            assert key in baseline["recovery"]
+        assert "wall_time_seconds" in baseline["recovery"]
+        assert "wall_time_seconds" in baseline["sorp"]
+        # the committed drill must demonstrate survivable warehouse loss
+        assert baseline["recovery"]["requests_saved"] >= 1
