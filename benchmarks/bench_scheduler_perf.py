@@ -29,6 +29,13 @@ Beyond Phase 1, the report also times Phase 2 (a standalone SORP pass
 over the greedy schedule) and runs a seeded warehouse-loss drill on a
 replicated two-warehouse copy of the paper topology, recording recovery
 latency plus the deterministic saved/lost/Ψ-delta outcome.
+
+Finally an online amendment drill replays a seeded fault feed (with one
+injected transient failure) through the
+:class:`~repro.online.OnlineAmendmentLoop`, recording amendment latency
+plus the deterministic batch/retry/shed counters and the windowed-vs-cycle
+lost-request comparison -- the windowed stance must never lose a request
+cycle masking would save.
 """
 
 import argparse
@@ -133,6 +140,17 @@ _DETERMINISTIC_RECOVERY_KEYS = (
     "impacted_videos",
     "psi_delta_dollars",
 )
+#: Online-drill keys that must match bit-for-bit: the amendment loop's
+#: trajectory is a pure function of (feed seed, injected failures).
+_DETERMINISTIC_ONLINE_KEYS = (
+    "feed_events",
+    "batches",
+    "batches_amended",
+    "retries",
+    "failures_injected",
+    "requests_lost_windowed",
+    "requests_lost_cycle",
+)
 
 
 def compare_reports(baseline: dict, current: dict) -> list[str]:
@@ -173,6 +191,13 @@ def compare_reports(baseline: dict, current: dict) -> list[str]:
             problems.append(
                 f"recovery.{key} regressed: baseline {b_rec.get(key)!r} vs "
                 f"{c_rec.get(key)!r}"
+            )
+    b_onl, c_onl = baseline.get("online", {}), current.get("online", {})
+    for key in _DETERMINISTIC_ONLINE_KEYS:
+        if b_onl.get(key) != c_onl.get(key):
+            problems.append(
+                f"online.{key} regressed: baseline {b_onl.get(key)!r} vs "
+                f"{c_onl.get(key)!r}"
             )
     return problems
 
@@ -253,6 +278,75 @@ def _recovery_drill(n_videos: int, users: int):
         "impacted_videos": rec.videos_resolved,
         "psi_delta_dollars": rec.cost_delta,
         "wall_time_seconds": wall,
+    }
+
+
+def _online_drill(n_videos: int, users: int):
+    """Seeded online-amendment drill on the paper topology.
+
+    Replays a generated fault feed (feed seed 7: its IS outage makes the
+    windowed-vs-cycle gap visible) through the online loop with one
+    injected transient failure.  The loop trajectory and the recovered
+    schedule are deterministic; the amendment wall time is the latency
+    metric.  Also recovers the original schedule under both masking
+    stances to record the lost-request comparison the windowed mode must
+    dominate.
+    """
+    from repro import VORService
+    from repro.faults import ContingencyScheduler, FaultFeed
+    from repro.online import (
+        OnlineAmendmentLoop,
+        OnlineLoopConfig,
+        TransientFailureInjector,
+    )
+
+    topo, catalog, batch = _build_env(n_videos, users)
+    service = VORService(topo, catalog, lead_time=0.0)
+    for r in batch:
+        service.reserve(
+            r.user_id, r.video_id, r.start_time,
+            local_storage=r.local_storage, now=0.0,
+        )
+    t_lo, t_hi = batch.span
+    report = service.close_cycle(cycle_end=t_hi)
+    feed = FaultFeed.generate(
+        topo,
+        seed=7,
+        horizon=(t_lo, t_hi + max(v.playback for v in catalog)),
+        n_events=4,
+    )
+    loop = OnlineAmendmentLoop(
+        service,
+        OnlineLoopConfig(max_retries=2, backoff_base=0.0),
+        failure_injector=TransientFailureInjector({0: 1}),
+    )
+    t0 = time.perf_counter()
+    run = loop.run(feed, report)
+    wall = time.perf_counter() - t0
+    amend_times = [rec.duration_s for rec in run.records if rec.duration_s]
+
+    cm = CostModel(topo, catalog)
+    schedule = report.cycle.schedule
+    plan = run.plan
+    lost = {}
+    for masking in ("cycle", "windowed"):
+        rec = ContingencyScheduler(cm, masking=masking).recover(
+            schedule, plan, batch=batch
+        )
+        lost[masking] = rec.requests_lost
+    return {
+        "feed_events": run.events_total,
+        "batches": run.batches_total,
+        "batches_amended": run.amended,
+        "retries": run.retries_total,
+        "failures_injected": run.failures_injected,
+        "requests_lost_windowed": lost["windowed"],
+        "requests_lost_cycle": lost["cycle"],
+        "wall_time_seconds": wall,
+        "amendment_seconds_max": max(amend_times, default=0.0),
+        "amendment_seconds_mean": (
+            sum(amend_times) / len(amend_times) if amend_times else 0.0
+        ),
     }
 
 
@@ -366,6 +460,15 @@ def main(argv=None) -> int:
         f"{recovery['wall_time_seconds']:.3f}s "
         f"(psi delta {recovery['psi_delta_dollars']:+,.2f})"
     )
+    online = _online_drill(n_videos, users)
+    print(
+        f"online amendment drill: {online['feed_events']} event(s), "
+        f"{online['batches_amended']}/{online['batches']} batch(es) amended, "
+        f"{online['retries']} retry(ies) in {online['wall_time_seconds']:.3f}s "
+        f"(max amendment {online['amendment_seconds_max']:.3f}s); "
+        f"windowed loses {online['requests_lost_windowed']} vs "
+        f"{online['requests_lost_cycle']} whole-cycle"
+    )
     if args.json_out or args.compare:
         report = {
             "benchmark": "phase1_speedup",
@@ -403,6 +506,7 @@ def main(argv=None) -> int:
                 "iterations": sorp_iterations,
             },
             "recovery": recovery,
+            "online": online,
         }
         if args.json_out:
             with open(args.json_out, "w") as fh:

@@ -50,12 +50,23 @@ from repro.core import (
 from repro.faults import (
     ContingencyScheduler,
     DegradedModeReport,
+    FaultEvent,
+    FaultFeed,
     FaultKind,
     FaultPlan,
     FaultSpec,
     RecoveryResult,
     build_degraded_report,
     masked_topology,
+)
+from repro.online import (
+    CircuitBreaker,
+    OnlineAmendmentLoop,
+    OnlineLoopConfig,
+    OnlineRunReport,
+    RetryPolicy,
+    TransientFailureInjector,
+    TransientResolveError,
 )
 from repro.obs import NULL_OBS, Observability, RunTelemetry, configure_logging
 from repro.replication import ReplicaMap
@@ -124,12 +135,21 @@ __all__ = [
     "resolve_overflows",
     "ContingencyScheduler",
     "DegradedModeReport",
+    "FaultEvent",
+    "FaultFeed",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "RecoveryResult",
     "build_degraded_report",
     "masked_topology",
+    "CircuitBreaker",
+    "OnlineAmendmentLoop",
+    "OnlineLoopConfig",
+    "OnlineRunReport",
+    "RetryPolicy",
+    "TransientFailureInjector",
+    "TransientResolveError",
     "ReplicaMap",
     "ChargingBasis",
     "Router",

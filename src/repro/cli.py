@@ -13,6 +13,7 @@ Usage::
     vor-repro run-env ENV.json     # schedule an environment file from disk
     vor-repro simulate ENV.json    # schedule + replay + feasibility verdict
     vor-repro run-faults ENV.json --scenario f.json   # fault drill + recovery
+    vor-repro run-online ENV.json --feed f.jsonl      # online amendment loop
 
 ``--quick`` swaps the Table 4 configuration for the scaled-down variant
 (same shapes, ~20x faster).  Every command prints the reproduced table and
@@ -29,6 +30,18 @@ patched schedule fails validation on the fault-masked topology.
 ``--replicas full`` (or ``heat:K``, or a replica-map JSON path) on a
 multi-warehouse environment the recovery re-solves every impacted request
 from the surviving homes.
+
+``run-online`` replays a fault feed (``--feed`` JSONL, or seeded
+generation via ``--seed``/``--feed-events``/``--feed-out``) through the
+:class:`~repro.online.OnlineAmendmentLoop`: debounced batches amend the
+closed cycle incrementally (``--masking windowed`` by default), transient
+failures retry with seeded backoff (``--max-retries``, ``--deadline``),
+and repeated failures open a circuit breaker (``--breaker-threshold``,
+``--breaker-cooldown``) that degrades to conservative whole-cycle masking
+and sheds pending reservations (``--shed``, ``--cycle-fraction``).
+``--inject-failures 0:2,3:1`` injects deterministic transient failures for
+drills; ``--online-report-out`` writes the machine-readable run report.
+The process exits non-zero when the loop ends without a valid schedule.
 
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
@@ -97,10 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "run-env",
             "simulate",
             "run-faults",
+            "run-online",
         ],
         help="which paper artifact to reproduce ('report' writes all of "
-        "them to --out; 'run-env'/'simulate'/'run-faults' schedule an "
-        "environment JSON)",
+        "them to --out; 'run-env'/'simulate'/'run-faults'/'run-online' "
+        "schedule an environment JSON)",
     )
     parser.add_argument(
         "env_file",
@@ -191,6 +205,101 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict generated fault kinds for 'run-faults' (comma-"
         "separated FaultKind values, e.g. 'warehouse_loss,link_down'; "
         "default: every kind except warehouse_loss)",
+    )
+    parser.add_argument(
+        "--feed",
+        default=None,
+        metavar="PATH",
+        help="fault-feed JSONL for 'run-online' (omit to generate a "
+        "seeded feed from --seed)",
+    )
+    parser.add_argument(
+        "--feed-events",
+        type=int,
+        default=4,
+        metavar="N",
+        help="events to draw when generating a feed (default 4)",
+    )
+    parser.add_argument(
+        "--feed-out",
+        default=None,
+        metavar="PATH",
+        help="write the (possibly generated) fault feed as JSONL",
+    )
+    parser.add_argument(
+        "--debounce",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="batch feed events arriving within this many virtual seconds "
+        "of each other (default 0: one batch per arrival instant)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per amendment attempt; overruns are "
+        "retried as transient failures (default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retry attempts per amendment batch (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failed batches that open the circuit breaker "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="virtual seconds the breaker stays open before a half-open "
+        "probe (default 0)",
+    )
+    parser.add_argument(
+        "--shed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pending reservations shed per degraded batch (default 1)",
+    )
+    parser.add_argument(
+        "--masking",
+        choices=["cycle", "windowed"],
+        default="windowed",
+        help="recovery stance for normal online operation (default "
+        "windowed; degraded batches always fall back to cycle)",
+    )
+    parser.add_argument(
+        "--cycle-fraction",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="close the cycle at start + F * span of the workload; "
+        "later reservations stay pending and are sheddable in degraded "
+        "mode (default 1.0: schedule everything)",
+    )
+    parser.add_argument(
+        "--inject-failures",
+        default=None,
+        metavar="SPEC",
+        help="deterministic transient-failure injection for 'run-online', "
+        "e.g. '0:2,3:1' fails batch 0 twice and batch 3 once",
+    )
+    parser.add_argument(
+        "--online-report-out",
+        default=None,
+        metavar="PATH",
+        help="write the online run report as JSON for 'run-online'",
     )
     parser.add_argument(
         "--replicas",
@@ -596,6 +705,168 @@ def _run_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_online(args: argparse.Namespace) -> int:
+    """Online drill: replay a fault feed through the amendment loop.
+
+    Loads the environment into a :class:`~repro.service.VORService`,
+    closes the cycle, then drives
+    :class:`~repro.online.OnlineAmendmentLoop` with the feed (loaded from
+    ``--feed`` JSONL or generated from ``--seed``).  Exits non-zero when
+    the loop ends without a valid schedule.  Malformed or unreadable
+    feeds exit non-zero with a one-line diagnostic.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis import format_table
+    from repro.core.parallel import ParallelConfig
+    from repro.errors import FaultError, ReproError, ScheduleError
+    from repro.faults.feed import FaultFeed
+    from repro.io import load_environment
+    from repro.obs import NULL_OBS, Observability
+    from repro.online import (
+        OnlineAmendmentLoop,
+        OnlineLoopConfig,
+        OnlineError,
+        TransientFailureInjector,
+    )
+    from repro.service import VORService
+
+    if not args.env_file:
+        raise SystemExit("run-online requires an environment JSON path")
+    topology, catalog, batch = load_environment(args.env_file)
+    if batch is None:
+        raise SystemExit(
+            f"{args.env_file} contains no 'requests' section to schedule"
+        )
+    try:
+        parallel = ParallelConfig(
+            backend=args.phase1_backend, workers=args.phase1_workers
+        )
+    except ScheduleError as exc:
+        raise SystemExit(f"invalid phase-1 options: {exc}") from exc
+    replicas = _parse_replicas(
+        args.replicas, topology, catalog, batch, seed=args.seed
+    )
+    want_telemetry = bool(args.metrics_out or args.trace_out)
+    obs = Observability.on() if want_telemetry else NULL_OBS
+
+    t0, t1 = batch.span
+    tail = max(v.playback for v in catalog)
+    if args.feed:
+        try:
+            feed = FaultFeed.load(args.feed)
+        except FaultError as exc:
+            raise SystemExit(f"invalid --feed: {exc}") from exc
+        _log.info("loaded %d event(s) from %s", len(feed), args.feed)
+    else:
+        feed = FaultFeed.generate(
+            topology,
+            seed=args.seed,
+            horizon=(t0, t1 + tail),
+            n_events=args.feed_events,
+            kinds=_parse_kinds(args.kinds),
+        )
+        _log.info(
+            "generated %d event(s) from seed %d", len(feed), args.seed
+        )
+    if args.feed_out:
+        feed.save(args.feed_out)
+        _log.info("wrote fault feed to %s", args.feed_out)
+    try:
+        config = OnlineLoopConfig(
+            debounce=args.debounce,
+            deadline=args.deadline,
+            max_retries=args.max_retries,
+            seed=args.seed,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            shed_per_degraded_batch=args.shed,
+            masking=args.masking,
+        )
+        injector = (
+            TransientFailureInjector.parse(args.inject_failures)
+            if args.inject_failures
+            else None
+        )
+    except (OnlineError, ScheduleError) as exc:
+        raise SystemExit(f"invalid online options: {exc}") from exc
+
+    service = VORService(
+        topology,
+        catalog,
+        lead_time=0.0,
+        parallel=parallel,
+        obs=obs,
+        replicas=replicas,
+    )
+    for r in batch:
+        service.reserve(
+            r.user_id, r.video_id, r.start_time,
+            local_storage=r.local_storage, now=0.0,
+        )
+    if not 0.0 < args.cycle_fraction <= 1.0:
+        raise SystemExit(
+            f"--cycle-fraction must be in (0, 1], got {args.cycle_fraction}"
+        )
+    cycle_end = t0 + args.cycle_fraction * (t1 - t0)
+    report = service.close_cycle(cycle_end=cycle_end)
+    if not report.feasible:
+        _print_violations(report.violations)
+        return 1
+
+    loop = OnlineAmendmentLoop(
+        service, config, obs=obs, failure_injector=injector
+    )
+    try:
+        run = loop.run(feed, report)
+    except ReproError as exc:
+        raise SystemExit(f"online run failed: {exc}") from exc
+    _write_telemetry(args, obs)
+
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["feed events", run.events_total],
+                ["amendment batches", run.batches_total],
+                ["batches amended", run.amended],
+                ["degraded batches", run.degraded_batches],
+                ["retries", run.retries_total],
+                ["deadline misses", run.deadline_misses],
+                ["failures injected", run.failures_injected],
+                ["reservations shed", run.shed_total],
+                ["breaker state", loop.breaker.state],
+                ["masking", config.masking],
+                ["phase-1 backend", args.phase1_backend],
+            ],
+            title=f"online drill for {args.env_file} [{feed.name or 'feed'}]",
+        )
+    )
+    print(run.summary())
+    if args.online_report_out:
+        doc = {
+            "environment": str(args.env_file),
+            "feed": feed.name,
+            "seed": feed.seed,
+            "alive": run.alive,
+            "final_feasible": (
+                run.final.feasible if run.final is not None else False
+            ),
+            "deadline_misses": run.deadline_misses,
+            "deterministic": run.deterministic_dict(),
+        }
+        pathlib.Path(args.online_report_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        _log.info("wrote online report to %s", args.online_report_out)
+    if run.final is None or not run.final.feasible:
+        print("online run ended without a valid schedule")
+        return 1
+    print("online run alive: final schedule valid")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(args.log_level)
@@ -612,6 +883,8 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate_environment(args)
     elif args.experiment == "run-faults":
         return _run_faults(args)
+    elif args.experiment == "run-online":
+        return _run_online(args)
     else:
         _run_one(args.experiment, args)
     return 0

@@ -223,7 +223,8 @@ class RollingScheduler:
         self._cycle_index += 1
         return result
 
-    def amend_cycle(self, result: CycleResult, plan, *, batch=None):
+    def amend_cycle(self, result: CycleResult, plan, *, batch=None,
+                    masking: str = "cycle"):
         """Re-solve the last closed cycle around an active fault plan.
 
         Runs the :class:`~repro.faults.contingency.ContingencyScheduler`
@@ -239,6 +240,11 @@ class RollingScheduler:
             plan: The active :class:`~repro.faults.plan.FaultPlan`.
             batch: The cycle's request batch; reconstructed from the
                 schedule's deliveries when omitted.
+            masking: Recovery stance -- ``"cycle"`` (conservative,
+                whole-cycle masking) or ``"windowed"`` (time-aware: only
+                services intersecting a fault window are re-solved, and a
+                carried-over cache is dropped only when an outage actually
+                overlaps its occupancy).
 
         Returns:
             The :class:`~repro.faults.contingency.RecoveryResult`; its
@@ -254,16 +260,30 @@ class RollingScheduler:
             heat_metric=self.heat_metric,
             parallel=self._engine.config,
             obs=self.obs,
+            masking=masking,
         )
         recovery = contingency.recover(result.schedule, plan, batch=batch)
         effects = combined_effects(self.topology, plan)
         impacted = set(recovery.impacted)
         boundary = self._last_boundary
+
+        def stranded(c: ResidencyInfo) -> bool:
+            if c.location not in effects.down_nodes:
+                return False
+            if masking != "windowed":
+                return True  # conservative: ever-down storages lose caches
+            playback = self.catalog[c.video_id].playback
+            down_there = combined_effects(
+                self.topology,
+                plan.overlapping(c.t_start, c.t_last + playback),
+            ).down_nodes
+            return c.location in down_there
+
         new_carry: dict[str, list[ResidencyInfo]] = {}
         for video_id, residencies in self._carryover.items():
             if video_id in impacted:
                 continue  # re-derived from the patched schedule below
-            kept = [c for c in residencies if c.location not in effects.down_nodes]
+            kept = [c for c in residencies if not stranded(c)]
             if kept:
                 new_carry[video_id] = kept
         for video_id in impacted:

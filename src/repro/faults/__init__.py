@@ -1,17 +1,20 @@
 """Fault injection and contingency re-scheduling.
 
-Seeded, declarative fault scenarios (:mod:`repro.faults.plan`), their
-resource-level effects and topology masking (:mod:`repro.faults.inject`),
-degraded-mode replay analysis (:mod:`repro.faults.report`), and incremental
-recovery through the existing two-phase machinery
-(:mod:`repro.faults.contingency`).
+Seeded, declarative fault scenarios (:mod:`repro.faults.plan`), online
+fault-report feeds (:mod:`repro.faults.feed`), their resource-level effects
+and topology masking (:mod:`repro.faults.inject`), degraded-mode replay
+analysis (:mod:`repro.faults.report`), and incremental recovery through the
+existing two-phase machinery (:mod:`repro.faults.contingency`).
 """
 
 from repro.faults.contingency import (
+    MASKING_MODES,
     ContingencyScheduler,
     RecoveryResult,
     impacted_videos,
+    windowed_impacted_videos,
 )
+from repro.faults.feed import FaultEvent, FaultFeed
 from repro.faults.inject import (
     ResourceEffects,
     combined_effects,
@@ -51,6 +54,10 @@ __all__ = [
     "DegradedModeReport",
     "build_degraded_report",
     "ContingencyScheduler",
+    "MASKING_MODES",
     "RecoveryResult",
     "impacted_videos",
+    "windowed_impacted_videos",
+    "FaultEvent",
+    "FaultFeed",
 ]

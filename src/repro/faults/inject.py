@@ -154,10 +154,21 @@ def effects_of(topology: Topology, fault: FaultSpec) -> ResourceEffects:
 
 
 def combined_effects(
-    topology: Topology, plan: FaultPlan | FaultSpec
+    topology: Topology,
+    plan: FaultPlan | FaultSpec,
+    *,
+    window: tuple[float, float] | None = None,
 ) -> ResourceEffects:
-    """Union of every fault's effects: down sets merge, factors take the min."""
+    """Union of every fault's effects: down sets merge, factors take the min.
+
+    ``window`` optionally restricts the union to faults whose windows
+    intersect the half-open ``[t0, t1)`` -- the *windowed* view a time-aware
+    recovery masks against, as opposed to the default whole-plan union.
+    """
     faults = [plan] if isinstance(plan, FaultSpec) else list(plan)
+    if window is not None:
+        t0, t1 = window
+        faults = [f for f in faults if f.overlaps(t0, t1)]
     builder = _EffectsBuilder()
     for fault in faults:
         _apply(builder, topology, fault)
@@ -165,21 +176,26 @@ def combined_effects(
 
 
 def masked_topology(
-    topology: Topology, plan: FaultPlan | FaultSpec
+    topology: Topology,
+    plan: FaultPlan | FaultSpec,
+    *,
+    window: tuple[float, float] | None = None,
 ) -> Topology:
     """A copy of ``topology`` with the plan's failed resources removed.
 
     Down nodes disappear (with every incident link), down links disappear,
     degraded links keep ``severity * bandwidth``, shrunk storages keep
     ``severity * capacity``.  Explicit end-to-end pair rates survive for
-    pairs whose endpoints both survive.  The mask is *time-agnostic*: any
-    resource the plan ever fails is masked for the whole cycle, which is the
-    conservative stance the contingency scheduler re-solves under.
+    pairs whose endpoints both survive.  By default the mask is
+    *time-agnostic*: any resource the plan ever fails is masked for the
+    whole cycle, the conservative stance of whole-cycle recovery.  With
+    ``window=(t0, t1)`` only faults intersecting the half-open window
+    contribute, so callers can mask per service interval.
 
     Raises :class:`~repro.errors.FaultError` when the mask would leave no
     warehouse, since no schedule can exist without an archive.
     """
-    effects = combined_effects(topology, plan)
+    effects = combined_effects(topology, plan, window=window)
     bw = effects.bandwidth_factor_map
     cap = effects.capacity_factor_map
     out = Topology(charging_basis=topology.charging_basis)

@@ -17,6 +17,7 @@ ignore severity and are always total.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import json
 import math
@@ -183,13 +184,44 @@ class FaultSpec:
 _FORMAT_VERSION = 1
 
 
+def _merge_overlapping(faults) -> tuple[FaultSpec, ...]:
+    """Canonicalize a fault set: merge same-resource overlapping windows.
+
+    Two specs of the same kind, target, and severity whose windows overlap
+    (or touch -- the windows are half-open, so ``[0, 5)`` + ``[5, 9)`` is one
+    continuous fault) collapse into a single spec spanning their union.  The
+    merged spec keeps the earliest contributor's label.  Equal-resource specs
+    with *different* severities are kept apart: they legitimately express
+    piecewise degradation, and ``combined_effects`` resolves the overlap by
+    taking the minimum remaining fraction.
+    """
+    groups: dict[tuple, list[FaultSpec]] = {}
+    for f in sorted(faults, key=FaultSpec._sort_key):
+        groups.setdefault((f.kind, f.target, f.severity), []).append(f)
+    merged: list[FaultSpec] = []
+    for group in groups.values():
+        current = group[0]
+        for f in group[1:]:
+            if f.t_start <= current.t_end:
+                if f.t_end > current.t_end:
+                    current = dataclasses.replace(current, t_end=f.t_end)
+            else:
+                merged.append(current)
+                current = f
+        merged.append(current)
+    return tuple(sorted(merged, key=FaultSpec._sort_key))
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An ordered, replayable fault scenario.
 
     Faults are kept in a canonical deterministic order (by window, kind,
     target), so two plans with the same faults compare equal and replay
-    identically regardless of construction order.
+    identically regardless of construction order.  Overlapping windows of
+    the same kind/target/severity are merged into one spec (see
+    :func:`_merge_overlapping`), so duplicated or amended feeds never
+    double-count a fault and dedup keys stay stable.
     """
 
     faults: tuple[FaultSpec, ...] = ()
@@ -197,8 +229,7 @@ class FaultPlan:
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        ordered = tuple(sorted(self.faults, key=FaultSpec._sort_key))
-        object.__setattr__(self, "faults", ordered)
+        object.__setattr__(self, "faults", _merge_overlapping(self.faults))
 
     def __iter__(self):
         return iter(self.faults)
@@ -221,6 +252,14 @@ class FaultPlan:
 
     def active_at(self, t: float) -> tuple[FaultSpec, ...]:
         return tuple(f for f in self.faults if f.active_at(t))
+
+    def overlapping(self, t0: float, t1: float) -> "FaultPlan":
+        """The sub-plan of faults intersecting the half-open ``[t0, t1)``."""
+        return FaultPlan(
+            faults=tuple(f for f in self.faults if f.overlaps(t0, t1)),
+            name=self.name,
+            seed=self.seed,
+        )
 
     # -- serialization -----------------------------------------------------
 
@@ -321,8 +360,20 @@ class FaultPlan:
         if not usable:
             raise FaultError("topology offers no target for any requested kind")
         span = t1 - t0
-        faults = []
-        for i in range(n_faults):
+        faults: list[FaultSpec] = []
+        attempts = 0
+        # Redraw candidates that would canonical-merge with an already-drawn
+        # fault (same kind/target/severity, overlapping or touching window),
+        # so the plan always holds exactly ``n_faults`` distinct specs.  The
+        # rng sequence is only consumed further when a collision occurs, so
+        # collision-free seeds generate bit-identical plans as before.
+        while len(faults) < n_faults:
+            attempts += 1
+            if attempts > 100 * n_faults:
+                raise FaultError(
+                    f"cannot place {n_faults} non-overlapping fault(s) in "
+                    f"horizon ({t0}, {t1}) for the requested kinds"
+                )
             kind = rng.choice(usable)
             target = rng.choice(pools[kind])
             duration = span * rng.uniform(*duration_range)
@@ -335,6 +386,15 @@ class FaultPlan:
                 severity = 0.0
             else:
                 severity = rng.uniform(*severity_range)
+            if any(
+                f.kind is kind
+                and f.target == target
+                and f.severity == severity
+                and start <= f.t_end
+                and f.t_start <= start + duration
+                for f in faults
+            ):
+                continue
             faults.append(
                 FaultSpec(
                     kind=kind,
@@ -342,7 +402,7 @@ class FaultPlan:
                     t_start=start,
                     t_end=start + duration,
                     severity=severity,
-                    label=f"gen-{i}",
+                    label=f"gen-{len(faults)}",
                 )
             )
         return cls(faults=tuple(faults), name=f"generated-seed{seed}", seed=seed)

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     BYTES_BUCKETS,
     COUNT_BUCKETS,
     DOLLAR_BUCKETS,
+    SECONDS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -41,6 +42,7 @@ __all__ = [
     "BYTES_BUCKETS",
     "COUNT_BUCKETS",
     "DOLLAR_BUCKETS",
+    "SECONDS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

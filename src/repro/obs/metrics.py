@@ -48,6 +48,9 @@ GIGABYTE = 1e9
 BYTES_BUCKETS: tuple[float, ...] = (
     1e6, 1e7, 1e8, 1e9, 5e9, 1e10, 5e10, 1e11,
 )
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
 
 _GAUGE_MODES = ("last", "max", "min", "sum")
 

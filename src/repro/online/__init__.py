@@ -1,0 +1,52 @@
+"""Online robustness: feed-driven cycle amendment with graceful degradation.
+
+Layout:
+
+* :mod:`repro.online.retry`   -- seeded capped-exponential retry policy,
+  transient-failure taxonomy, deterministic failure injection
+* :mod:`repro.online.breaker` -- three-state circuit breaker on virtual
+  feed time (closed / open / half-open)
+* :mod:`repro.online.loop`    -- the :class:`OnlineAmendmentLoop` driving
+  :meth:`repro.service.VORService.amend_cycle` from a
+  :class:`~repro.faults.feed.FaultFeed`
+
+See ``docs/ONLINE.md`` for the state machine and tuning guidance.
+"""
+
+from repro.online.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.online.loop import (
+    OUTCOMES,
+    AmendmentRecord,
+    OnlineAmendmentLoop,
+    OnlineLoopConfig,
+    OnlineRunReport,
+)
+from repro.online.retry import (
+    OnlineError,
+    RetryPolicy,
+    TransientFailureInjector,
+    TransientResolveError,
+)
+
+__all__ = [
+    "AmendmentRecord",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "OnlineAmendmentLoop",
+    "OnlineError",
+    "OnlineLoopConfig",
+    "OnlineRunReport",
+    "OUTCOMES",
+    "RetryPolicy",
+    "TransientFailureInjector",
+    "TransientResolveError",
+]

@@ -1,0 +1,136 @@
+"""Retry policy and failure injection for online amendments.
+
+Re-solving a cycle while the fault picture is still moving fails for
+transient reasons: a monitoring read races a topology update, a worker pool
+hiccups, an amendment overruns its deadline.  :class:`RetryPolicy` bounds
+how hard the loop tries again -- capped exponential backoff with *seeded*
+jitter, so a replayed run sleeps the exact same schedule -- and
+:class:`TransientFailureInjector` lets tests and CI drills inject those
+failures deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class OnlineError(ReproError):
+    """Invalid online-loop configuration or feed consumption."""
+
+
+class TransientResolveError(OnlineError):
+    """A re-solve attempt failed for a (presumed) transient reason.
+
+    Raised by the failure injector and by the loop itself on deadline
+    overruns; the amendment loop retries these under its
+    :class:`RetryPolicy` before counting a batch as failed.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    Attempt ``i`` (0-based retry index) sleeps
+    ``min(cap, base * 2**i) * (1 + jitter * u)`` with ``u`` uniform in
+    ``[-1, 1]`` drawn from a per-batch rng derived arithmetically from
+    ``seed`` -- never from ``hash()``, so replays are bit-identical across
+    interpreter runs.
+
+    Attributes:
+        max_retries: Re-attempts after the first try (0 = no retries).
+        base: First backoff delay in seconds.
+        cap: Upper bound on any single delay (before jitter).
+        jitter: Relative jitter amplitude in [0, 1].
+        seed: Base seed for the jitter stream.
+    """
+
+    max_retries: int = 3
+    base: float = 0.05
+    cap: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise OnlineError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base < 0.0 or self.cap < 0.0:
+            raise OnlineError(
+                f"backoff base/cap must be >= 0, got {self.base}/{self.cap}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise OnlineError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter}"
+            )
+
+    def delays(self, batch_index: int) -> tuple[float, ...]:
+        """The backoff delays (seconds) for one batch's retries."""
+        rng = random.Random(self.seed * 1_000_003 + batch_index)
+        out = []
+        for i in range(self.max_retries):
+            delay = min(self.cap, self.base * (2.0**i))
+            delay *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+            out.append(max(0.0, delay))
+        return tuple(out)
+
+
+class TransientFailureInjector:
+    """Deterministically fail the first N re-solve attempts of chosen batches.
+
+    The spec maps batch index to how many attempts of that batch should
+    raise :class:`TransientResolveError`.  ``parse`` reads the CLI form
+    ``"0:2,3:1"`` (batch 0 fails twice, batch 3 once); a count larger than
+    the retry budget exhausts the batch and feeds the circuit breaker.
+    """
+
+    def __init__(self, spec: dict[int, int] | None = None) -> None:
+        self._remaining = dict(spec or {})
+        self.injected = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "TransientFailureInjector":
+        """Build an injector from ``"batch:count[,batch:count...]"``."""
+        spec: dict[int, int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                batch_s, count_s = part.split(":")
+                batch, count = int(batch_s), int(count_s)
+            except ValueError as exc:
+                raise OnlineError(
+                    f"bad failure-injection spec {part!r} "
+                    "(expected batch:count)"
+                ) from exc
+            if batch < 0 or count < 1:
+                raise OnlineError(
+                    f"bad failure-injection spec {part!r}: batch must be "
+                    ">= 0 and count >= 1"
+                )
+            spec[batch] = spec.get(batch, 0) + count
+        return cls(spec)
+
+    def check(self, batch_index: int) -> None:
+        """Raise :class:`TransientResolveError` if this attempt must fail."""
+        remaining = self._remaining.get(batch_index, 0)
+        if remaining > 0:
+            self._remaining[batch_index] = remaining - 1
+            self.injected += 1
+            raise TransientResolveError(
+                f"injected transient failure (batch {batch_index}, "
+                f"{remaining - 1} left)"
+            )
+
+
+__all__ = [
+    "OnlineError",
+    "RetryPolicy",
+    "TransientFailureInjector",
+    "TransientResolveError",
+]

@@ -263,54 +263,107 @@ class VORService:
             telemetry=self.obs.telemetry() if self.obs.enabled else None,
         )
 
-    def amend_cycle(self, report: CycleReport, plan: FaultPlan) -> CycleReport:
+    def shed_pending(self, count: int) -> list[Request]:
+        """Drop the ``count`` lowest-priority pending reservations.
+
+        Priority follows urgency: the reservations with the *latest*
+        showing times (ties broken by video then user id, so shedding is
+        deterministic) are shed first -- they have the most time to rebook.
+        Returns the shed requests (possibly fewer than ``count``); the
+        online amendment loop calls this in degraded mode to keep the
+        service responsive while re-solves are failing.
+        """
+        if count <= 0 or not self._pending:
+            return []
+        ranked = sorted(
+            range(len(self._pending)),
+            key=lambda i: (
+                self._pending[i].start_time,
+                self._pending[i].video_id,
+                self._pending[i].user_id,
+            ),
+        )
+        drop = set(ranked[-count:])
+        shed = [self._pending[i] for i in sorted(drop)]
+        self._pending = [
+            r for i, r in enumerate(self._pending) if i not in drop
+        ]
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_reservations_shed_total",
+                help="Pending reservations shed under degraded operation",
+            ).inc(len(shed))
+        _log.warning("shed %d pending reservation(s)", len(shed))
+        return shed
+
+    def amend_cycle(
+        self, report: CycleReport, plan: FaultPlan, *, masking: str = "cycle"
+    ) -> CycleReport:
         """Amend the last closed cycle's schedule around an active fault plan.
 
         Re-solves the impacted videos through the contingency scheduler
         (masked topology, Phase 1 + SORP), re-bills, and re-validates the
-        patched schedule against the *masked* cost model with the plan's
-        lost requests excused.  The rolling carryover state is re-rolled
-        from the patched schedule, so the next :meth:`close_cycle` inherits
-        the post-fault reality.
+        patched schedule with the plan's lost requests excused.  The
+        rolling carryover state is re-rolled from the patched schedule, so
+        the next :meth:`close_cycle` inherits the post-fault reality.
 
         Args:
             report: The :class:`CycleReport` returned by the most recent
                 :meth:`close_cycle`.
             plan: The active fault scenario.
+            masking: ``"cycle"`` re-solves against the conservative
+                whole-cycle mask and validates on the masked cost model;
+                ``"windowed"`` re-solves only services intersecting a fault
+                window and validates on the *healthy* model with a
+                window-aware degraded replay (``faults=plan``), since the
+                patched schedule may legitimately use faulted resources at
+                times the fault is not active.
 
         Returns:
             A fresh :class:`CycleReport` whose ``cycle.schedule`` is the
             patched plan and whose :attr:`CycleReport.recovery` carries the
             SLA/cost outcome of the contingency pass.
         """
-        with self.obs.tracer.span("amend_cycle", faults=len(plan)) as span:
-            recovery = self._rolling.amend_cycle(report.cycle, plan)
+        with self.obs.tracer.span(
+            "amend_cycle", faults=len(plan), masking=masking
+        ) as span:
+            recovery = self._rolling.amend_cycle(
+                report.cycle, plan, masking=masking
+            )
             patched = recovery.schedule
             with self.obs.tracer.span("billing"):
                 billing = allocate_costs(patched, self.cost_model)
-            masked = masked_topology(self.topology, plan)
-            replicas = self.cost_model.replicas
-            masked_cm = CostModel(
-                masked,
-                self.catalog,
-                replicas=(
-                    replicas.restricted_to(masked.node_names)
-                    if replicas is not None
-                    else None
-                ),
-            )
             lost = set(recovery.lost)
             surviving = RequestBatch(
                 d.request
                 for d in report.cycle.schedule.deliveries
                 if d.request not in lost
             )
+            if masking == "windowed":
+                validate_cm = self.cost_model
+                validate_faults = plan
+            else:
+                masked = masked_topology(self.topology, plan)
+                replicas = self.cost_model.replicas
+                validate_cm = CostModel(
+                    masked,
+                    self.catalog,
+                    replicas=(
+                        replicas.restricted_to(masked.node_names)
+                        if replicas is not None
+                        else None
+                    ),
+                )
+                validate_faults = None
             with self.obs.tracer.span("validate") as vspan:
                 violations = validate_schedule(
                     patched,
                     surviving,
-                    masked_cm,
+                    validate_cm,
                     trusted_residencies=report.cycle.inherited,
+                    faults=validate_faults,
+                    obs=self.obs,
                 )
                 vspan.set(violations=len(violations))
             staging = None

@@ -35,6 +35,7 @@ from repro.core.costmodel import CostModel
 from repro.core.schedule import Schedule
 from repro.core.spacefunc import EPS
 from repro.errors import SimulationError
+from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import SimulationEngine
 from repro.workload.requests import RequestBatch
 
@@ -59,6 +60,7 @@ def validate_schedule(
     trusted_residencies=(),
     faults=None,
     replicas=None,
+    obs: Observability | None = None,
 ) -> list[Violation]:
     """Run every feasibility check; return all violations found.
 
@@ -77,25 +79,45 @@ def validate_schedule(
     ``replicas`` optionally names a :class:`~repro.replication.ReplicaMap`
     (default: the cost model's map); warehouse sources outside a video's
     home set are reported as ``replica`` violations.
+
+    ``obs`` optionally instruments the run: one ``validate`` span plus
+    per-kind ``vor_validate_violations_total`` counters.
     """
-    violations: list[Violation] = []
-    violations.extend(_check_coverage(schedule, batch))
-    violations.extend(
-        _check_causality(schedule, cost_model, trusted_residencies)
-    )
-    violations.extend(_check_capacity(schedule, cost_model))
-    if check_links:
-        violations.extend(_check_links(schedule, cost_model))
-    if replicas is None:
-        replicas = cost_model.replicas
-    if replicas is not None:
-        violations.extend(_check_replicas(schedule, cost_model, replicas))
-    if faults is not None:
-        violations.extend(fault_violations(schedule, cost_model, faults))
+    obs = obs if obs is not None else NULL_OBS
+    with obs.tracer.span(
+        "validate", services=len(schedule), requests=len(batch)
+    ) as span:
+        violations: list[Violation] = []
+        violations.extend(_check_coverage(schedule, batch))
+        violations.extend(
+            _check_causality(schedule, cost_model, trusted_residencies)
+        )
+        violations.extend(_check_capacity(schedule, cost_model))
+        if check_links:
+            violations.extend(_check_links(schedule, cost_model))
+        if replicas is None:
+            replicas = cost_model.replicas
+        if replicas is not None:
+            violations.extend(_check_replicas(schedule, cost_model, replicas))
+        if faults is not None:
+            violations.extend(
+                fault_violations(schedule, cost_model, faults, obs=obs)
+            )
+        span.set(violations=len(violations))
+    metrics = obs.metrics
+    if metrics.enabled and violations:
+        for v in violations:
+            metrics.counter(
+                "vor_validate_violations_total",
+                help="Feasibility violations found by validate_schedule",
+                kind=v.kind,
+            ).inc()
     return violations
 
 
-def fault_violations(schedule, cost_model, plan) -> list[Violation]:
+def fault_violations(
+    schedule, cost_model, plan, *, obs: Observability | None = None
+) -> list[Violation]:
     """Degraded-mode replay of ``schedule`` under ``plan`` as violations.
 
     Each dropped or late service, stranded residency, saturated link and
@@ -107,7 +129,9 @@ def fault_violations(schedule, cost_model, plan) -> list[Violation]:
     # Imported lazily: repro.faults.report imports this module's siblings.
     from repro.faults.report import build_degraded_report
 
-    report = build_degraded_report(schedule, cost_model, plan)
+    obs = obs if obs is not None else NULL_OBS
+    with obs.tracer.span("degraded_replay", faults=len(plan)):
+        report = build_degraded_report(schedule, cost_model, plan)
     out: list[Violation] = []
     for i in report.dropped:
         out.append(

@@ -82,6 +82,65 @@ class TestFaultPlan:
         assert FaultPlan((a, b)) == FaultPlan((b, a))
         assert FaultPlan((a, b)).faults == (b, a)
 
+    def test_overlapping_same_resource_windows_merge(self):
+        plan = FaultPlan(
+            (
+                _spec(t_start=1.0, t_end=5.0, label="first"),
+                _spec(t_start=4.0, t_end=9.0, label="second"),
+            )
+        )
+        assert plan.faults == (_spec(t_start=1.0, t_end=9.0, label="first"),)
+
+    def test_touching_half_open_windows_merge(self):
+        plan = FaultPlan(
+            (_spec(t_start=0.0, t_end=5.0), _spec(t_start=5.0, t_end=9.0))
+        )
+        assert len(plan) == 1
+        assert plan.faults[0].window == (0.0, 9.0)
+
+    def test_contained_window_absorbed(self):
+        plan = FaultPlan(
+            (_spec(t_start=1.0, t_end=9.0), _spec(t_start=3.0, t_end=4.0))
+        )
+        assert plan.faults == (_spec(t_start=1.0, t_end=9.0),)
+
+    def test_duplicate_faults_dedup(self):
+        plan = FaultPlan((_spec(), _spec()))
+        assert plan.faults == (_spec(),)
+
+    def test_disjoint_windows_kept_apart(self):
+        a, b = _spec(t_start=1.0, t_end=2.0), _spec(t_start=3.0, t_end=4.0)
+        assert FaultPlan((a, b)).faults == (a, b)
+
+    def test_different_resources_never_merge(self):
+        a = _spec(t_start=1.0, t_end=5.0)
+        b = _spec(t_start=4.0, t_end=9.0, target="IS2")
+        assert len(FaultPlan((a, b))) == 2
+
+    def test_different_severities_kept_apart(self):
+        a = _spec(
+            kind=FaultKind.CAPACITY_SHRINK,
+            severity=0.5,
+            t_start=1.0,
+            t_end=5.0,
+        )
+        b = _spec(
+            kind=FaultKind.CAPACITY_SHRINK,
+            severity=0.25,
+            t_start=4.0,
+            t_end=9.0,
+        )
+        assert len(FaultPlan((a, b))) == 2
+
+    def test_merged_plans_have_stable_keys(self):
+        # Amending a feed with a re-reported (extended) fault keeps the
+        # merged spec's dedup key anchored at the earliest start.
+        first = FaultPlan((_spec(t_start=1.0, t_end=5.0),))
+        amended = FaultPlan(
+            (_spec(t_start=1.0, t_end=5.0), _spec(t_start=2.0, t_end=7.0))
+        )
+        assert [f.key for f in first] == [f.key for f in amended]
+
     def test_iteration_len_bool(self):
         plan = FaultPlan((_spec(),))
         assert len(plan) == 1 and bool(plan)

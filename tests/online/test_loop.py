@@ -1,0 +1,266 @@
+"""End-to-end tests for the online fault-feed amendment loop."""
+
+import pytest
+
+from repro import (
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VORService,
+    units,
+)
+from repro.faults import FaultEvent, FaultFeed, FaultKind, FaultSpec
+from repro.online import (
+    CLOSED,
+    OPEN,
+    OnlineAmendmentLoop,
+    OnlineLoopConfig,
+    TransientFailureInjector,
+)
+
+H = units.HOUR
+
+
+def _service(extra_pending=0):
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_storage("IS2", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_edge("VW", "IS1", nrate=units.per_gb(500))
+    topo.add_edge("IS1", "IS2", nrate=units.per_gb(300))
+    topo.add_edge("VW", "IS2", nrate=units.per_gb(900))
+    catalog = VideoCatalog(
+        [
+            VideoFile(f"m{i}", size=units.gb(2.5), playback=units.minutes(90))
+            for i in range(4)
+        ]
+    )
+    svc = VORService(topo, catalog)
+    for t in (5, 9, 15):
+        svc.reserve("alice", "m0", t * H, local_storage="IS1")
+    for t in (6, 10):
+        svc.reserve("bob", "m1", t * H, local_storage="IS2")
+    for i in range(extra_pending):
+        svc.reserve("carl", "m2", (30 + i) * H, local_storage="IS2")
+    report = svc.close_cycle(cycle_end=24 * H)
+    assert report.feasible
+    return svc, report
+
+
+def _outage(t0, t1, target="IS1"):
+    return FaultSpec(
+        kind=FaultKind.IS_OUTAGE, target=target, t_start=t0, t_end=t1
+    )
+
+
+def _feed(*events, name="t", seed=None):
+    return FaultFeed(events=tuple(events), name=name, seed=seed)
+
+
+class TestHappyPath:
+    def test_every_batch_amends(self):
+        svc, report = _service()
+        feed = _feed(
+            FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+            FaultEvent(at=2 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+        )
+        loop = OnlineAmendmentLoop(svc, OnlineLoopConfig())
+        run = loop.run(feed, report)
+        assert run.alive
+        assert run.batches_total == 2
+        assert [r.outcome for r in run.records] == ["amended", "amended"]
+        assert [r.masking for r in run.records] == ["windowed", "windowed"]
+        assert run.final is not report  # an amended report took over
+        assert run.final.feasible
+        assert len(run.plan) == 2
+        assert loop.breaker.state == CLOSED
+
+    def test_debounce_groups_nearby_events(self):
+        svc, report = _service()
+        feed = _feed(
+            FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+            FaultEvent(at=1.1 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+            FaultEvent(at=5 * H, fault=_outage(18 * H, 19 * H)),
+        )
+        loop = OnlineAmendmentLoop(
+            svc, OnlineLoopConfig(debounce=0.5 * H)
+        )
+        run = loop.run(feed, report)
+        assert run.batches_total == 2
+        assert [r.events for r in run.records] == [2, 1]
+
+    def test_empty_feed_is_a_noop(self):
+        svc, report = _service()
+        run = OnlineAmendmentLoop(svc).run(_feed(), report)
+        assert run.batches_total == 0
+        assert run.final is report
+
+    def test_replay_is_deterministic(self):
+        def one_run():
+            svc, report = _service()
+            feed = _feed(
+                FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+                FaultEvent(at=2 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+            )
+            injector = TransientFailureInjector({0: 1})
+            loop = OnlineAmendmentLoop(
+                svc,
+                OnlineLoopConfig(backoff_base=0.0),
+                failure_injector=injector,
+            )
+            return loop.run(feed, report)
+
+        a, b = one_run(), one_run()
+        assert a.deterministic_dict() == b.deterministic_dict()
+        assert (
+            a.final.cycle.schedule.deliveries
+            == b.final.cycle.schedule.deliveries
+        )
+        assert (
+            a.final.cycle.schedule.residencies
+            == b.final.cycle.schedule.residencies
+        )
+
+
+class TestRetries:
+    def test_transient_failure_retried_then_succeeds(self):
+        svc, report = _service()
+        feed = _feed(FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)))
+        slept = []
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(max_retries=2, backoff_base=0.01, seed=7),
+            sleep=slept.append,
+            failure_injector=TransientFailureInjector({0: 2}),
+        )
+        run = loop.run(feed, report)
+        assert run.records[0].outcome == "amended"
+        assert run.records[0].attempts == 3
+        assert run.retries_total == 2
+        assert run.failures_injected == 2
+        assert slept == list(
+            OnlineLoopConfig(
+                max_retries=2, backoff_base=0.01, seed=7
+            ).retry_policy().delays(0)[:2]
+        )
+
+    def test_exhausted_retries_fail_the_batch_not_the_loop(self):
+        svc, report = _service()
+        feed = _feed(FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)))
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(max_retries=1, backoff_base=0.0),
+            failure_injector=TransientFailureInjector({0: 5}),
+        )
+        run = loop.run(feed, report)
+        assert run.records[0].outcome == "failed"
+        assert "injected transient failure" in run.records[0].error
+        assert run.alive
+        assert run.final is report  # last-good report retained
+
+    def test_deadline_overrun_is_transient(self):
+        svc, report = _service()
+        feed = _feed(FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)))
+        ticks = iter(range(100))
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(
+                deadline=0.5, max_retries=1, backoff_base=0.0
+            ),
+            clock=lambda: float(next(ticks)),  # every attempt takes 1s
+            sleep=lambda s: None,
+        )
+        run = loop.run(feed, report)
+        assert run.deadline_misses == 2
+        assert run.records[0].outcome == "failed"
+        assert "deadline" in run.records[0].error
+
+
+class TestDegradedMode:
+    def test_breaker_opens_and_degrades_with_shedding(self):
+        svc, report = _service(extra_pending=3)
+        assert svc.pending == 3
+        feed = _feed(
+            FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+            FaultEvent(at=2 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+            FaultEvent(at=3 * H, fault=_outage(18 * H, 19 * H)),
+        )
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(
+                max_retries=0,
+                breaker_threshold=1,
+                breaker_cooldown=1e9,  # stays open for the whole feed
+                shed_per_degraded_batch=2,
+            ),
+            failure_injector=TransientFailureInjector({0: 1}),
+        )
+        run = loop.run(feed, report)
+        assert [r.outcome for r in run.records] == [
+            "failed",
+            "degraded",
+            "degraded",
+        ]
+        # Degraded batches fall back to the conservative stance and shed.
+        assert [r.masking for r in run.records] == [
+            "windowed",
+            "cycle",
+            "cycle",
+        ]
+        assert run.shed_total == 3  # 2 on the first degraded batch, 1 left
+        assert svc.pending == 0
+        assert loop.breaker.state == OPEN
+        assert run.alive and run.final.feasible
+
+    def test_half_open_probe_recovers(self):
+        svc, report = _service()
+        feed = _feed(
+            FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+            FaultEvent(at=10 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+        )
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(
+                max_retries=0, breaker_threshold=1, breaker_cooldown=5 * H
+            ),
+            failure_injector=TransientFailureInjector({0: 1}),
+        )
+        run = loop.run(feed, report)
+        # Batch 1 arrives after the cooldown: half-open probe, normal
+        # masking, success closes the breaker.
+        assert [r.outcome for r in run.records] == ["failed", "amended"]
+        assert run.records[1].masking == "windowed"
+        assert [t.to for t in run.breaker_transitions] == [
+            OPEN,
+            "half_open",
+            CLOSED,
+        ]
+        assert loop.breaker.state == CLOSED
+
+    def test_failed_batch_healed_by_next_cumulative_amendment(self):
+        svc, report = _service()
+        feed = _feed(
+            FaultEvent(at=1 * H, fault=_outage(4 * H, 8 * H)),
+            FaultEvent(at=2 * H, fault=_outage(11 * H, 12 * H, "IS2")),
+        )
+        loop = OnlineAmendmentLoop(
+            svc,
+            OnlineLoopConfig(max_retries=0, breaker_threshold=10),
+            failure_injector=TransientFailureInjector({0: 1}),
+        )
+        run = loop.run(feed, report)
+        assert [r.outcome for r in run.records] == ["failed", "amended"]
+        # The second amendment carries the *cumulative* plan, so the final
+        # report accounts for both faults despite batch 0 failing.
+        assert run.records[1].faults_total == 2
+        assert len(run.final.recovery.plan) == 2
+
+
+class TestConfigValidation:
+    def test_bad_masking_rejected(self):
+        with pytest.raises(Exception, match="masking"):
+            OnlineLoopConfig(masking="nope")
+
+    def test_bad_debounce_rejected(self):
+        with pytest.raises(Exception, match="debounce"):
+            OnlineLoopConfig(debounce=-1.0)

@@ -1,0 +1,137 @@
+"""Amendment idempotency regressions (both masking stances).
+
+Amending with an empty plan must be a bit-identical no-op, and amending
+an already-amended cycle with the same plan must change nothing -- the
+online loop's cumulative re-amendment depends on both properties.
+"""
+
+import pytest
+
+from repro import (
+    Request,
+    RequestBatch,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VORService,
+    units,
+)
+from repro.extensions import RollingScheduler
+from repro.faults import MASKING_MODES, FaultKind, FaultPlan, FaultSpec
+
+H = units.HOUR
+
+
+def _env():
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_storage("IS2", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_edge("VW", "IS1", nrate=units.per_gb(500))
+    topo.add_edge("IS1", "IS2", nrate=units.per_gb(300))
+    topo.add_edge("VW", "IS2", nrate=units.per_gb(900))
+    catalog = VideoCatalog(
+        [
+            VideoFile(f"m{i}", size=units.gb(2.5), playback=units.minutes(90))
+            for i in range(3)
+        ]
+    )
+    return topo, catalog
+
+
+def _plan():
+    return FaultPlan(
+        faults=(
+            FaultSpec(
+                kind=FaultKind.IS_OUTAGE,
+                target="IS1",
+                t_start=4 * H,
+                t_end=8 * H,
+            ),
+        ),
+        name="outage",
+    )
+
+
+def _closed_service():
+    topo, catalog = _env()
+    svc = VORService(topo, catalog)
+    for t in (5, 9, 15):
+        svc.reserve("alice", "m0", t * H, local_storage="IS1")
+    for t in (6, 10):
+        svc.reserve("bob", "m1", t * H, local_storage="IS2")
+    report = svc.close_cycle(cycle_end=units.DAY)
+    assert report.feasible
+    return svc, report
+
+
+def _schedule_key(schedule):
+    return (tuple(schedule.deliveries), tuple(schedule.residencies))
+
+
+@pytest.mark.parametrize("masking", MASKING_MODES)
+class TestServiceIdempotency:
+    def test_empty_plan_is_bit_identical_noop(self, masking):
+        svc, report = _closed_service()
+        amended = svc.amend_cycle(report, FaultPlan(), masking=masking)
+        assert amended.feasible
+        assert _schedule_key(amended.cycle.schedule) == _schedule_key(
+            report.cycle.schedule
+        )
+        assert amended.recovery.saved == ()
+        assert amended.recovery.lost == ()
+
+    def test_amend_twice_equals_amend_once(self, masking):
+        svc, report = _closed_service()
+        plan = _plan()
+        once = svc.amend_cycle(report, plan, masking=masking)
+        assert once.feasible
+        twice = svc.amend_cycle(once, plan, masking=masking)
+        assert twice.feasible
+        assert _schedule_key(twice.cycle.schedule) == _schedule_key(
+            once.cycle.schedule
+        )
+        assert set(twice.recovery.lost) <= set(once.recovery.lost)
+
+
+@pytest.mark.parametrize("masking", MASKING_MODES)
+class TestRollingIdempotency:
+    def _closed_cycle(self):
+        topo, catalog = _env()
+        rolling = RollingScheduler(topo, catalog)
+        batch = RequestBatch(
+            [
+                Request(5 * H, "m0", "u1", "IS1"),
+                Request(9 * H, "m0", "u2", "IS1"),
+                Request(6 * H, "m1", "u3", "IS2"),
+            ]
+        )
+        result = rolling.schedule_cycle(batch, cycle_end=units.DAY)
+        return rolling, batch, result
+
+    def test_empty_plan_is_bit_identical_noop(self, masking):
+        rolling, batch, result = self._closed_cycle()
+        recovery = rolling.amend_cycle(
+            result, FaultPlan(), batch=batch, masking=masking
+        )
+        assert _schedule_key(recovery.schedule) == _schedule_key(
+            result.schedule
+        )
+        assert recovery.saved == () and recovery.lost == ()
+
+    def test_amend_twice_equals_amend_once(self, masking):
+        import dataclasses
+
+        rolling, batch, result = self._closed_cycle()
+        plan = _plan()
+        rec1 = rolling.amend_cycle(result, plan, batch=batch, masking=masking)
+        carry_once = tuple(rolling.carryover)
+        lost1 = set(rec1.lost)
+        surviving = RequestBatch([r for r in batch if r not in lost1])
+        amended = dataclasses.replace(result, schedule=rec1.schedule)
+        rec2 = rolling.amend_cycle(
+            amended, plan, batch=surviving, masking=masking
+        )
+        assert _schedule_key(rec2.schedule) == _schedule_key(rec1.schedule)
+        assert tuple(rolling.carryover) == carry_once
+        assert rec2.lost == ()

@@ -89,6 +89,21 @@ class TestCompareReports:
         current["sorp"]["wall_time_seconds"] *= 100
         assert bench.compare_reports(baseline, current) == []
 
+    def test_online_outcome_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["online"]["requests_lost_windowed"] += 1
+        current["online"]["retries"] += 1
+        problems = bench.compare_reports(baseline, current)
+        assert any("online.requests_lost_windowed" in p for p in problems)
+        assert any("online.retries" in p for p in problems)
+
+    def test_online_timing_does_not_gate(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["online"]["wall_time_seconds"] *= 100
+        current["online"]["amendment_seconds_max"] *= 100
+        current["online"]["amendment_seconds_mean"] *= 100
+        assert bench.compare_reports(baseline, current) == []
+
 
 class TestCommittedBaseline:
     def test_baseline_has_the_gating_keys(self, bench, baseline):
@@ -106,3 +121,16 @@ class TestCommittedBaseline:
         assert "wall_time_seconds" in baseline["sorp"]
         # the committed drill must demonstrate survivable warehouse loss
         assert baseline["recovery"]["requests_saved"] >= 1
+
+    def test_baseline_has_the_online_keys(self, bench, baseline):
+        for key in bench._DETERMINISTIC_ONLINE_KEYS:
+            assert key in baseline["online"]
+        assert "wall_time_seconds" in baseline["online"]
+        # the committed drill must exercise the retry path...
+        assert baseline["online"]["failures_injected"] >= 1
+        assert baseline["online"]["retries"] >= 1
+        # ...and demonstrate the windowed stance strictly dominating
+        assert (
+            baseline["online"]["requests_lost_windowed"]
+            < baseline["online"]["requests_lost_cycle"]
+        )

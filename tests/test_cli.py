@@ -223,6 +223,155 @@ class TestCli:
         with pytest.raises(SystemExit, match="requires"):
             main(["run-faults"])
 
+    def test_run_online_generated_feed(self, capsys, tmp_path):
+        path = _paper_env(tmp_path)
+        feed_out = tmp_path / "feed.jsonl"
+        report_out = tmp_path / "online.json"
+        assert (
+            main(
+                [
+                    "run-online",
+                    str(path),
+                    "--seed",
+                    "3",
+                    "--feed-events",
+                    "3",
+                    "--feed-out",
+                    str(feed_out),
+                    "--online-report-out",
+                    str(report_out),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "online drill" in out
+        assert "online run alive" in out
+        from repro import FaultFeed
+
+        feed = FaultFeed.load(feed_out)
+        assert len(feed) == 3 and feed.seed == 3
+        doc = json.loads(report_out.read_text())
+        assert doc["alive"] is True and doc["final_feasible"] is True
+        assert doc["deterministic"]["events_total"] == 3
+
+    def test_run_online_replay_is_deterministic(self, tmp_path):
+        path = _paper_env(tmp_path)
+        docs = []
+        for i in range(2):
+            report_out = tmp_path / f"online{i}.json"
+            assert (
+                main(
+                    [
+                        "run-online",
+                        str(path),
+                        "--seed",
+                        "5",
+                        "--inject-failures",
+                        "0:1",
+                        "--max-retries",
+                        "1",
+                        "--online-report-out",
+                        str(report_out),
+                    ]
+                )
+                == 0
+            )
+            docs.append(json.loads(report_out.read_text()))
+        assert docs[0]["deterministic"] == docs[1]["deterministic"]
+
+    def test_run_online_injected_failures_degrade_not_crash(
+        self, capsys, tmp_path
+    ):
+        path = _paper_env(tmp_path)
+        assert (
+            main(
+                [
+                    "run-online",
+                    str(path),
+                    "--seed",
+                    "3",
+                    "--feed-events",
+                    "3",
+                    "--max-retries",
+                    "0",
+                    "--breaker-threshold",
+                    "1",
+                    "--breaker-cooldown",
+                    "1e12",
+                    "--cycle-fraction",
+                    "0.5",
+                    "--inject-failures",
+                    "0:1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "online run alive" in out
+        assert "breaker state      open" in out
+
+    def test_run_online_from_feed_file(self, capsys, tmp_path):
+        from repro import FaultFeed, FaultKind, FaultSpec, units
+        from repro.faults import FaultEvent
+
+        path = _paper_env(tmp_path)
+        feed_path = tmp_path / "feed.jsonl"
+        FaultFeed(
+            events=(
+                FaultEvent(
+                    at=units.HOUR,
+                    fault=FaultSpec(
+                        kind=FaultKind.IS_OUTAGE,
+                        target="IS1",
+                        t_start=2 * units.HOUR,
+                        t_end=4 * units.HOUR,
+                    ),
+                ),
+            ),
+            name="drill",
+        ).save(feed_path)
+        assert main(["run-online", str(path), "--feed", str(feed_path)]) == 0
+        out = capsys.readouterr().out
+        assert "drill" in out
+
+    def test_run_online_malformed_feed_one_line_diagnostic(self, tmp_path):
+        path = _paper_env(tmp_path)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format_version": 1, "name": "x"}\n{"oops\n')
+        with pytest.raises(SystemExit) as exc:
+            main(["run-online", str(path), "--feed", str(bad)])
+        message = str(exc.value)
+        assert message.startswith("invalid --feed")
+        assert "bad.jsonl:2" in message
+        assert "\n" not in message
+
+    def test_run_online_unreadable_feed_one_line_diagnostic(self, tmp_path):
+        path = _paper_env(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["run-online", str(path), "--feed", str(tmp_path / "no.jsonl")]
+            )
+        message = str(exc.value)
+        assert message.startswith("invalid --feed")
+        assert "\n" not in message
+
+    def test_run_online_requires_path(self):
+        with pytest.raises(SystemExit, match="requires"):
+            main(["run-online"])
+
+    def test_run_online_bad_injection_spec(self, tmp_path):
+        path = _paper_env(tmp_path)
+        with pytest.raises(SystemExit, match="invalid online options"):
+            main(
+                ["run-online", str(path), "--inject-failures", "garbage"]
+            )
+
+    def test_run_online_bad_cycle_fraction(self, tmp_path):
+        path = _paper_env(tmp_path)
+        with pytest.raises(SystemExit, match="cycle-fraction"):
+            main(["run-online", str(path), "--cycle-fraction", "0"])
+
     def test_report_writes_all_artifacts(self, capsys, tmp_path):
         out_dir = tmp_path / "report"
         assert main(["report", "--quick", "--out", str(out_dir)]) == 0
