@@ -151,6 +151,14 @@ _DETERMINISTIC_ONLINE_KEYS = (
     "requests_lost_windowed",
     "requests_lost_cycle",
 )
+#: SLO indicators that must match bit-for-bit: ratios of deterministic
+#: counters (latency indicators stay outside the gate).
+_DETERMINISTIC_SLO_KEYS = (
+    "deadline_hit_rate",
+    "rejection_rate",
+    "amendment_failure_rate",
+    "shed_rate",
+)
 
 
 def compare_reports(baseline: dict, current: dict) -> list[str]:
@@ -198,6 +206,13 @@ def compare_reports(baseline: dict, current: dict) -> list[str]:
             problems.append(
                 f"online.{key} regressed: baseline {b_onl.get(key)!r} vs "
                 f"{c_onl.get(key)!r}"
+            )
+    b_slo, c_slo = b_onl.get("slo", {}), c_onl.get("slo", {})
+    for key in _DETERMINISTIC_SLO_KEYS:
+        if b_slo.get(key) != c_slo.get(key):
+            problems.append(
+                f"online.slo.{key} regressed: baseline {b_slo.get(key)!r} vs "
+                f"{c_slo.get(key)!r}"
             )
     return problems
 
@@ -294,6 +309,7 @@ def _online_drill(n_videos: int, users: int):
     """
     from repro import VORService
     from repro.faults import ContingencyScheduler, FaultFeed
+    from repro.obs.slo import deterministic_slice, online_indicators
     from repro.online import (
         OnlineAmendmentLoop,
         OnlineLoopConfig,
@@ -346,6 +362,9 @@ def _online_drill(n_videos: int, users: int):
         "amendment_seconds_max": max(amend_times, default=0.0),
         "amendment_seconds_mean": (
             sum(amend_times) / len(amend_times) if amend_times else 0.0
+        ),
+        "slo": deterministic_slice(
+            online_indicators(run, reservations=len(batch))
         ),
     }
 

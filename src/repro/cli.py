@@ -46,8 +46,22 @@ The process exits non-zero when the loop ends without a valid schedule.
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
 and writes the metric snapshot (JSON, or Prometheus text for a ``.prom``
-path) and the span log.  ``--log-level`` tunes the stderr logging of every
-``repro.*`` module (default ``info``).
+path) and the span log.  ``--journal-out journal.jsonl`` additionally
+records the request-lifecycle audit journal (deterministic wide events;
+see :mod:`repro.obs.events`) and ``--explain REQUEST_ID`` prints one
+request's timeline.  ``--profile {cprofile,tracemalloc}`` wraps any
+command and writes a top-N hotspot artifact to ``--profile-out``.
+``--log-level`` tunes the stderr logging of every ``repro.*`` module
+(default ``info``).
+
+SLOs: ``run-online`` evaluates the run against an SLO policy (``--slo
+policy.json``, or the built-in default), prints the per-SLO burn rates,
+and embeds the indicators in ``--online-report-out``;
+``vor-repro slo-check report.json`` re-gates that report and exits
+non-zero on any breach.  ``vor-repro report --telemetry metrics.json
+[--journal journal.jsonl]`` renders a terminal dashboard (phase wall
+time, critical path, metric series, journal event mix) from previously
+written artifacts.
 """
 
 from __future__ import annotations
@@ -111,17 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "simulate",
             "run-faults",
             "run-online",
+            "slo-check",
         ],
         help="which paper artifact to reproduce ('report' writes all of "
-        "them to --out; 'run-env'/'simulate'/'run-faults'/'run-online' "
-        "schedule an environment JSON)",
+        "them to --out, or renders a terminal dashboard with --telemetry; "
+        "'run-env'/'simulate'/'run-faults'/'run-online' schedule an "
+        "environment JSON; 'slo-check' gates an online report JSON)",
     )
     parser.add_argument(
         "env_file",
         nargs="?",
         default=None,
-        help="environment JSON for the 'run-env'/'simulate'/'run-faults' "
-        "commands",
+        help="environment JSON for the 'run-env'/'simulate'/'run-faults'/"
+        "'run-online' commands, or the online report JSON for 'slo-check'",
     )
     parser.add_argument(
         "--quick",
@@ -309,6 +325,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "(every video at every warehouse), 'heat' or 'heat:K' (heat-driven "
         "placement with degree K), or a replica-map JSON path",
     )
+    parser.add_argument(
+        "--journal-out",
+        default=None,
+        metavar="PATH",
+        help="record the request-lifecycle audit journal during an "
+        "environment command and write it as JSON Lines (deterministic: "
+        "identical runs produce byte-identical files)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="REQUEST_ID",
+        help="print the journal timeline of one request after an "
+        "environment command (implies journal recording), e.g. "
+        "'user01/video0003@5400->IS2'",
+    )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="SLO policy JSON for 'run-online'/'slo-check' (default: the "
+        "built-in policy)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["cprofile", "tracemalloc"],
+        default=None,
+        help="profile the command and write a top-N hotspot artifact "
+        "(--profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default="profile.json",
+        metavar="PATH",
+        help="hotspot artifact path for --profile (default profile.json)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="for 'report': render a terminal dashboard from a "
+        "--metrics-out JSON telemetry bundle instead of regenerating the "
+        "paper artifacts",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="for 'report': include a --journal-out JSONL in the dashboard "
+        "(event mix; timelines via --explain)",
+    )
     return parser
 
 
@@ -456,8 +523,11 @@ def _solve_environment(args: argparse.Namespace, command: str):
         getattr(args, "replicas", None), topology, catalog, batch,
         seed=args.seed,
     )
-    want_telemetry = bool(args.metrics_out or args.trace_out)
-    obs = Observability.on() if want_telemetry else NULL_OBS
+    want_journal = bool(args.journal_out or args.explain)
+    want_telemetry = bool(args.metrics_out or args.trace_out or want_journal)
+    obs = (
+        Observability.on(journal=want_journal) if want_telemetry else NULL_OBS
+    )
     scheduler = VideoScheduler(
         topology, catalog, parallel=parallel, obs=obs, replicas=replicas
     )
@@ -472,7 +542,7 @@ def _print_violations(violations) -> None:
 
 
 def _write_telemetry(args: argparse.Namespace, obs) -> None:
-    from repro.obs import write_metrics, write_trace_jsonl
+    from repro.obs import write_journal_jsonl, write_metrics, write_trace_jsonl
 
     if args.metrics_out:
         write_metrics(args.metrics_out, obs)
@@ -484,6 +554,15 @@ def _write_telemetry(args: argparse.Namespace, obs) -> None:
             len(obs.tracer.records),
             args.trace_out,
         )
+    if args.journal_out:
+        write_journal_jsonl(args.journal_out, obs.journal)
+        _log.info(
+            "wrote %d journal event(s) to %s",
+            len(obs.journal),
+            args.journal_out,
+        )
+    if args.explain:
+        print(obs.journal.format_timeline(args.explain))
 
 
 def _run_environment(args: argparse.Namespace) -> int:
@@ -748,8 +827,11 @@ def _run_online(args: argparse.Namespace) -> int:
     replicas = _parse_replicas(
         args.replicas, topology, catalog, batch, seed=args.seed
     )
-    want_telemetry = bool(args.metrics_out or args.trace_out)
-    obs = Observability.on() if want_telemetry else NULL_OBS
+    want_journal = bool(args.journal_out or args.explain)
+    want_telemetry = bool(args.metrics_out or args.trace_out or want_journal)
+    obs = (
+        Observability.on(journal=want_journal) if want_telemetry else NULL_OBS
+    )
 
     t0, t1 = batch.span
     tail = max(v.playback for v in catalog)
@@ -822,7 +904,6 @@ def _run_online(args: argparse.Namespace) -> int:
         run = loop.run(feed, report)
     except ReproError as exc:
         raise SystemExit(f"online run failed: {exc}") from exc
-    _write_telemetry(args, obs)
 
     print(
         format_table(
@@ -844,6 +925,19 @@ def _run_online(args: argparse.Namespace) -> int:
         )
     )
     print(run.summary())
+
+    from repro.obs.slo import SLOError, SLOPolicy, online_indicators
+
+    try:
+        policy = SLOPolicy.load(args.slo) if args.slo else SLOPolicy.default()
+    except SLOError as exc:
+        raise SystemExit(f"invalid --slo: {exc}") from exc
+    indicators = online_indicators(run, reservations=len(batch))
+    slo_report = policy.evaluate(indicators)
+    slo_report.record(obs.metrics)
+    print(slo_report.format_report())
+    _write_telemetry(args, obs)
+
     if args.online_report_out:
         doc = {
             "environment": str(args.env_file),
@@ -855,6 +949,11 @@ def _run_online(args: argparse.Namespace) -> int:
             ),
             "deadline_misses": run.deadline_misses,
             "deterministic": run.deterministic_dict(),
+            "slo": {
+                "indicators": indicators,
+                "policy": policy.to_dict(),
+                "evaluation": slo_report.to_dict(),
+            },
         }
         pathlib.Path(args.online_report_out).write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n"
@@ -867,15 +966,229 @@ def _run_online(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    configure_logging(args.log_level)
+def _slo_check(args: argparse.Namespace) -> int:
+    """Gate an online report JSON against an SLO policy (non-zero on breach).
+
+    Reads the ``slo.indicators`` section that ``run-online
+    --online-report-out`` embeds, re-evaluates it against ``--slo`` (or
+    the built-in default policy), prints the verdict, and exits 1 when
+    any SLO is breached.
+    """
+    import json
+    import pathlib
+
+    from repro.obs.slo import SLOError, SLOPolicy
+
+    if not args.env_file:
+        raise SystemExit("slo-check requires an online report JSON path")
+    try:
+        doc = json.loads(pathlib.Path(args.env_file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read {args.env_file}: {exc}") from exc
+    indicators = (doc.get("slo") or {}).get("indicators")
+    if not isinstance(indicators, dict):
+        raise SystemExit(
+            f"{args.env_file} has no 'slo.indicators' section (write one "
+            "with 'run-online --online-report-out')"
+        )
+    try:
+        policy = SLOPolicy.load(args.slo) if args.slo else SLOPolicy.default()
+    except SLOError as exc:
+        raise SystemExit(f"invalid --slo: {exc}") from exc
+    report = policy.evaluate(indicators)
+    print(report.format_report())
+    if not report.ok:
+        for r in report.breaches:
+            _log.error(
+                "SLO %s breached: %s %s %g, measured %g",
+                r.spec.name, r.spec.indicator, r.spec.op, r.spec.objective,
+                r.value,
+            )
+        return 1
+    return 0
+
+
+def _report_dashboard(args: argparse.Namespace) -> int:
+    """Terminal dashboard over run artifacts (``report --telemetry ...``).
+
+    Renders phase wall-time totals, the stitched critical path, the
+    deterministic metric families, and (with ``--journal``) the event mix
+    and per-request timelines from a journal JSONL.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis import ascii_chart, format_table
+    from repro.analysis.series import Series
+    from repro.obs import SpanRecord, format_critical_paths, load_journal_jsonl
+
+    try:
+        doc = json.loads(pathlib.Path(args.telemetry).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read --telemetry {args.telemetry}: {exc}") from exc
+
+    phases = doc.get("phases") or {}
+    if phases:
+        rows = [
+            [name, agg["count"], agg["total_seconds"], agg["max_seconds"]]
+            for name, agg in phases.items()
+        ]
+        print(
+            format_table(
+                ["phase", "spans", "total s", "max s"],
+                rows,
+                title=f"phase wall time [{args.telemetry}]",
+                float_fmt="{:.4f}",
+            )
+        )
+        busiest = sorted(
+            phases.items(), key=lambda kv: -kv[1]["total_seconds"]
+        )[:8]
+        if len(busiest) > 1:
+            print()
+            print(
+                ascii_chart(
+                    [
+                        Series(
+                            "total seconds",
+                            x=tuple(float(i) for i in range(len(busiest))),
+                            y=tuple(v["total_seconds"] for _, v in busiest),
+                        )
+                    ],
+                    title="wall time by phase (ranked): "
+                    + ", ".join(f"{i}={k}" for i, (k, _) in enumerate(busiest)),
+                )
+            )
+
+    spans = doc.get("spans") or []
+    if spans:
+        records = [
+            SpanRecord(
+                name=s["name"],
+                start=s["start"],
+                duration=s["duration"],
+                parent=s.get("parent"),
+                attrs=tuple(sorted((s.get("attrs") or {}).items())),
+                span_id=s.get("span_id", 0),
+                parent_id=s.get("parent_id", 0),
+            )
+            for s in spans
+        ]
+        print()
+        print(format_critical_paths(records, limit=3))
+
+    metrics = doc.get("metrics") or {}
+    if metrics:
+        rows = []
+        for name in sorted(metrics):
+            fam = metrics[name]
+            for child in fam.get("values", []):
+                labels = child.get("labels") or {}
+                label_txt = ",".join(f"{k}={v}" for k, v in labels.items())
+                value = child.get("value")
+                if value is None:
+                    value = child.get("count", "")
+                rows.append([name, label_txt, value])
+        print()
+        print(
+            format_table(
+                ["metric", "labels", "value"],
+                rows[:40],
+                title=f"metrics ({len(metrics)} families, "
+                f"top {min(40, len(rows))} series)",
+            )
+        )
+
+    if args.journal:
+        journal = load_journal_jsonl(args.journal)
+        print()
+        print(
+            format_table(
+                ["event", "count"],
+                [[k, v] for k, v in journal.counts().items()],
+                title=f"journal event mix [{args.journal}] "
+                f"({len(journal)} events, "
+                f"{len(journal.request_ids())} requests)",
+            )
+        )
+        if args.explain:
+            print()
+            print(journal.format_timeline(args.explain))
+    return 0
+
+
+def _start_profile(args: argparse.Namespace):
+    """Arm --profile; returns opaque state for :func:`_finish_profile`."""
+    if not args.profile:
+        return None
+    if args.profile == "cprofile":
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        return ("cprofile", profiler)
+    import tracemalloc
+
+    tracemalloc.start()
+    return ("tracemalloc", None)
+
+
+def _finish_profile(args: argparse.Namespace, state) -> None:
+    """Write the top-N hotspot artifact (stable schema, sorted output)."""
+    if state is None:
+        return
+    import json
+    import pathlib
+
+    kind, profiler = state
+    if kind == "cprofile":
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        rows = [
+            {
+                "function": f"{filename}:{line}({name})",
+                "ncalls": ncalls,
+                "tottime": tottime,
+                "cumtime": cumtime,
+            }
+            for (filename, line, name), (
+                _cc, ncalls, tottime, cumtime, _callers,
+            ) in stats.stats.items()
+        ]
+        rows.sort(key=lambda r: (-r["cumtime"], -r["tottime"], r["function"]))
+        doc = {"profiler": "cprofile", "top": rows[:25]}
+    else:
+        import tracemalloc
+
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        rows = [
+            {
+                "location": f"{stat.traceback[0].filename}:"
+                f"{stat.traceback[0].lineno}",
+                "size_bytes": stat.size,
+                "count": stat.count,
+            }
+            for stat in snapshot.statistics("lineno")[:25]
+        ]
+        doc = {"profiler": "tracemalloc", "top": rows}
+    pathlib.Path(args.profile_out).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    _log.info("wrote %s hotspot profile to %s", kind, args.profile_out)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "all":
         for name in ["worked-example", *sorted(_FIGURES), "table5", "gap", "ablations"]:
             print("=" * 78)
             _run_one(name, args)
             print()
     elif args.experiment == "report":
+        if args.telemetry:
+            return _report_dashboard(args)
         _write_report(args)
     elif args.experiment == "run-env":
         return _run_environment(args)
@@ -885,9 +1198,21 @@ def main(argv: list[str] | None = None) -> int:
         return _run_faults(args)
     elif args.experiment == "run-online":
         return _run_online(args)
+    elif args.experiment == "slo-check":
+        return _slo_check(args)
     else:
         _run_one(args.experiment, args)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    profile_state = _start_profile(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _finish_profile(args, profile_state)
 
 
 if __name__ == "__main__":  # pragma: no cover

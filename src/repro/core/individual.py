@@ -53,6 +53,9 @@ class _Candidate:
     source: str
     route: Route
     cache_index: int  # index into the residency list, -1 for warehouse
+    #: The Ψ_D share of ``cost`` (network transfer); the remainder is the
+    #: Ψ_C residency-extension share.  Journal-only -- not in the sort key.
+    network_cost: float = 0.0
 
     @property
     def sort_key(self) -> tuple[float, int, int, str]:
@@ -230,6 +233,18 @@ class IndividualScheduler:
                 f"{video.video_id!r}"
             )
         choice = self._best_candidate(video, req, residencies)
+        journal = self._obs.journal
+        if journal.enabled:
+            journal.emit(
+                "phase1-assigned",
+                request=req,
+                source=choice.source,
+                source_kind="cache" if choice.cache_index >= 0 else "warehouse",
+                route=choice.route.nodes,
+                hops=choice.hops,
+                psi_d=choice.network_cost,
+                psi_c=choice.cost - choice.network_cost,
+            )
         self._apply(video, req, choice, residencies, fs)
 
     def solve(self, batch: RequestBatch, catalog: VideoCatalog | None = None) -> Schedule:
@@ -281,7 +296,10 @@ class IndividualScheduler:
                 continue
             if route is None:
                 continue
-            cand = _Candidate(volume * route.rate, route.hops, 1, w, route, -1)
+            cand = _Candidate(
+                volume * route.rate, route.hops, 1, w, route, -1,
+                network_cost=volume * route.rate,
+            )
             if best is None or cand.sort_key < best.sort_key:
                 best = cand
         for idx, c in enumerate(residencies):
@@ -306,7 +324,8 @@ class IndividualScheduler:
                 video.video_id, c.location, c.t_start, c.t_last
             )
             cand = _Candidate(
-                volume * route.rate + ext_cost, route.hops, 0, c.location, route, idx
+                volume * route.rate + ext_cost, route.hops, 0, c.location,
+                route, idx, network_cost=volume * route.rate,
             )
             if best is None or cand.sort_key < best.sort_key:
                 best = cand

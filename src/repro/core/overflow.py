@@ -48,6 +48,18 @@ class OverflowSituation:
     def peak_excess(self) -> float:
         return self.peak_usage - self.capacity
 
+    def journal_attrs(self) -> dict:
+        """Attribute dict for an ``overflowed`` journal event."""
+        return {
+            "location": self.location,
+            "interval": self.interval,
+            "members": len(self.members),
+            "videos": tuple(sorted({c.video_id for c in self.members})),
+            "peak_usage": self.peak_usage,
+            "capacity": self.capacity,
+            "excess": self.excess_spacetime,
+        }
+
 
 def storage_usage(
     schedule: Schedule, catalog: VideoCatalog, location: str

@@ -63,6 +63,7 @@ from repro.core.individual import IndividualScheduler
 from repro.core.schedule import FileSchedule, ResidencyInfo, Schedule
 from repro.errors import ScheduleError
 from repro.obs import MetricsRegistry, NULL_OBS, Observability, SpanRecord
+from repro.obs.events import JournalEvent
 from repro.workload.requests import Request, RequestBatch
 
 _log = logging.getLogger(__name__)
@@ -169,11 +170,17 @@ def make_shards(
 _WORKER: dict[str, object] = {}
 
 
-def _worker_init(cost_model: CostModel, deposit_scope: str, obs_enabled: bool) -> None:
+def _worker_init(
+    cost_model: CostModel,
+    deposit_scope: str,
+    obs_enabled: bool,
+    journal_enabled: bool = False,
+) -> None:
     cost_model.reset_cache_stats()
     _WORKER["cost_model"] = cost_model
     _WORKER["deposit_scope"] = deposit_scope
     _WORKER["obs_enabled"] = obs_enabled
+    _WORKER["journal_enabled"] = journal_enabled
 
 
 def _worker_solve(
@@ -183,9 +190,14 @@ def _worker_solve(
     CacheStatsDetail,
     MetricsRegistry | None,
     tuple[SpanRecord, ...],
+    tuple[JournalEvent, ...],
 ]:
     cost_model: CostModel = _WORKER["cost_model"]  # type: ignore[assignment]
-    child = Observability.on() if _WORKER["obs_enabled"] else NULL_OBS
+    child = (
+        Observability.on(journal=bool(_WORKER.get("journal_enabled")))
+        if _WORKER["obs_enabled"]
+        else NULL_OBS
+    )
     scheduler = IndividualScheduler(
         cost_model,
         deposit_scope=_WORKER["deposit_scope"],  # type: ignore[arg-type]
@@ -198,7 +210,13 @@ def _worker_solve(
     ]
     detail = cost_model.cache_stats_detail - before
     registry = child.metrics if child.enabled else None
-    return out, detail, registry, child.tracer.records  # type: ignore[return-value]
+    return (  # type: ignore[return-value]
+        out,
+        detail,
+        registry,
+        child.tracer.records,
+        child.journal.events,
+    )
 
 
 class ParallelIndividualScheduler:
@@ -371,18 +389,24 @@ class ParallelIndividualScheduler:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(self._cm, self._deposit_scope, self._obs.enabled),
+            initargs=(
+                self._cm,
+                self._deposit_scope,
+                self._obs.enabled,
+                self._obs.journal.enabled,
+            ),
         ) as pool:
             outcomes = list(pool.map(_worker_solve, shards))
-        results = [files for files, _, _, _ in outcomes]
+        results = [files for files, _, _, _, _ in outcomes]
         total = CacheStatsDetail()
         shard_stats = []
-        for _, detail, registry, spans in outcomes:
+        for _, detail, registry, spans, events in outcomes:
             total = total + detail
             shard_stats.append(detail.combined)
             if registry is not None:
                 self._obs.metrics.merge(registry)
             self._obs.tracer.absorb(spans, parent="ivsp")
+            self._obs.journal.absorb(events)
         return _merge(shards, results), total, tuple(shard_stats)
 
 

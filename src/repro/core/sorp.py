@@ -131,6 +131,9 @@ def resolve_overflows(
             )
             detect_span.set(overflows=len(overflows))
         stats.initial_overflows = len(overflows)
+        if obs.journal.enabled:
+            for of in overflows:
+                obs.journal.emit("overflowed", **of.journal_attrs())
         if overflows:
             _log.debug(
                 "SORP: %d initial overflow situation(s) to resolve",
@@ -174,6 +177,14 @@ def resolve_overflows(
                 )
                 round_span.set(
                     victim=new_fs.video_id, location=overflow.location
+                )
+                obs.journal.emit(
+                    "sorp-placed",
+                    video_id=new_fs.video_id,
+                    location=overflow.location,
+                    interval=overflow.interval,
+                    heat=heat,
+                    overhead=overhead,
                 )
                 with obs.tracer.span("overflow") as detect_span:
                     overflows = detect_overflows(

@@ -194,6 +194,16 @@ class RollingScheduler:
                 inherited=inherited,
             )
             span.set(carried_out=result.carried_out, reused=reused)
+            self.obs.journal.emit(
+                "cycle-closed",
+                index=result.cycle_index,
+                requests=len(batch),
+                carried_in=carried_in,
+                carried_out=result.carried_out,
+                reused=reused,
+                deliveries=len(final.deliveries),
+                residencies=len(final.residencies),
+            )
         record_schedule_metrics(self.obs, final, self.cost_model, scope="final")
         metrics = self.obs.metrics
         if metrics.enabled:

@@ -381,6 +381,20 @@ class ContingencyScheduler:
                 saved=result.requests_saved,
                 lost=result.requests_lost,
             )
+        journal = self._obs.journal
+        if journal.enabled:
+            for request in result.saved:
+                journal.emit(
+                    "fault-hit", request=request,
+                    faults=len(plan), masking=self._masking,
+                )
+                journal.emit("saved", request=request)
+            for request in result.lost:
+                journal.emit(
+                    "fault-hit", request=request,
+                    faults=len(plan), masking=self._masking,
+                )
+                journal.emit("lost", request=request)
         self._record_metrics(result)
         _log.info(
             "contingency: %d impacted video(s), %d saved / %d lost, "

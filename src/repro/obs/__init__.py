@@ -5,16 +5,40 @@ Layout:
 * :mod:`repro.obs.metrics`   -- counters, gauges, fixed-bucket histograms;
   deterministic merges; :class:`NullRegistry` no-op default
 * :mod:`repro.obs.trace`     -- span-based tracing (``ivsp``, ``sorp``,
-  ``overflow``, ``simulate``, ...); :class:`NullTracer` no-op default
+  ``overflow``, ``simulate``, ...) with stitched span ids;
+  :class:`NullTracer` no-op default
+* :mod:`repro.obs.events`    -- the deterministic request-lifecycle
+  :class:`RequestJournal` of wide events + ``explain(request_id)``
+* :mod:`repro.obs.slo`       -- declarative SLOs with error-budget /
+  burn-rate accounting (``vor-repro slo-check``)
+* :mod:`repro.obs.critpath`  -- critical-path reducer over stitched traces
 * :mod:`repro.obs.telemetry` -- the :class:`Observability` handle threaded
   through the pipeline and the :class:`RunTelemetry` snapshot bundle
 * :mod:`repro.obs.export`    -- Prometheus text, JSON snapshot, JSONL trace
 * :mod:`repro.obs.logs`      -- stdlib-logging conventions + CLI configuration
 
-The metric catalog and span taxonomy are documented in
-``docs/OBSERVABILITY.md``.
+The metric catalog, event taxonomy, SLO schema, and span taxonomy are
+documented in ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.critpath import (
+    CriticalPath,
+    critical_paths,
+    dominant_path,
+    format_critical_path,
+    format_critical_paths,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    JournalError,
+    JournalEvent,
+    NullJournal,
+    NULL_JOURNAL,
+    RequestJournal,
+    load_journal_jsonl,
+    request_key,
+    write_journal_jsonl,
+)
 from repro.obs.export import (
     json_snapshot,
     prometheus_text,
@@ -22,6 +46,14 @@ from repro.obs.export import (
     write_trace_jsonl,
 )
 from repro.obs.logs import configure_logging, parse_level
+from repro.obs.slo import (
+    SLOError,
+    SLOPolicy,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    online_indicators,
+)
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     COUNT_BUCKETS,
@@ -44,13 +76,25 @@ __all__ = [
     "DOLLAR_BUCKETS",
     "SECONDS_BUCKETS",
     "Counter",
+    "CriticalPath",
+    "EVENT_KINDS",
     "Gauge",
     "Histogram",
+    "JournalError",
+    "JournalEvent",
     "MetricsError",
     "MetricsRegistry",
+    "NullJournal",
+    "NULL_JOURNAL",
     "NullRegistry",
     "NULL_REGISTRY",
     "NullTracer",
+    "RequestJournal",
+    "SLOError",
+    "SLOPolicy",
+    "SLOReport",
+    "SLOResult",
+    "SLOSpec",
     "SpanRecord",
     "Tracer",
     "NULL_TRACER",
@@ -58,9 +102,17 @@ __all__ = [
     "Observability",
     "RunTelemetry",
     "configure_logging",
-    "parse_level",
+    "critical_paths",
+    "dominant_path",
+    "format_critical_path",
+    "format_critical_paths",
     "json_snapshot",
+    "load_journal_jsonl",
+    "online_indicators",
+    "parse_level",
     "prometheus_text",
+    "request_key",
+    "write_journal_jsonl",
     "write_metrics",
     "write_trace_jsonl",
 ]

@@ -1,0 +1,349 @@
+"""Request-lifecycle audit journal: deterministic wide events.
+
+The metrics registry answers "how many"; the :class:`RequestJournal`
+answers "what happened to request R and why".  Every phase of the
+pipeline emits *wide events* -- one self-contained record per decision:
+
+=================  ==========================================================
+kind               emitted when
+=================  ==========================================================
+``admitted``       :meth:`repro.service.VORService.reserve` accepts a booking
+``rejected``       the same call refuses one (unknown title, lead time, ...)
+``phase1-assigned``  the Phase-1 greedy commits a delivery (chosen source,
+                   route, Ψ_C/Ψ_D split)
+``overflowed``     SORP detects an initial overflow situation
+``sorp-placed``    SORP commits a victim reschedule
+``cycle-closed``   the rolling scheduler finishes a cycle
+``fault-hit``      contingency recovery classifies a request of an impacted
+                   video
+``saved``/``lost``  ... and records its outcome
+``amended``        :meth:`~repro.service.VORService.amend_cycle` patches the
+                   cycle
+``online-batch``   the online loop settles one debounced amendment batch
+``shed``           :meth:`~repro.service.VORService.shed_pending` drops a
+                   pending reservation
+=================  ==========================================================
+
+Determinism contract: the journal is **append-only** and records *no wall
+clock* -- only the decisions, which are bit-identical across Phase-1
+backends for a seeded run.  Worker shards journal into their own child
+journal and the engine absorbs them back in deterministic shard order
+(exactly like :class:`~repro.obs.metrics.MetricsRegistry` merges), so the
+merged event sequence equals the serial run's.  Replaying the same feed
+twice therefore produces byte-identical JSONL exports.
+
+Requests carry no synthetic id; :func:`request_key` derives a stable one
+from the request's identifying fields.  Two identical reservations (same
+user, title, start, neighborhood) share a key and therefore a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ReproError
+
+
+class JournalError(ReproError):
+    """Invalid journal emission or query."""
+
+
+#: Every event kind the pipeline emits (see the module docstring).
+EVENT_KINDS = (
+    "admitted",
+    "rejected",
+    "phase1-assigned",
+    "overflowed",
+    "sorp-placed",
+    "cycle-closed",
+    "fault-hit",
+    "saved",
+    "lost",
+    "amended",
+    "online-batch",
+    "shed",
+)
+
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
+
+def request_key(request: Any) -> str:
+    """Stable request id derived from the identifying fields.
+
+    ``Request`` is a frozen value object without a synthetic id; the key
+    is deterministic and survives pickling across process workers.
+    """
+    return (
+        f"{request.user_id}/{request.video_id}"
+        f"@{request.start_time:g}->{request.local_storage}"
+    )
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One wide event.  Immutable and picklable (worker shards ship them).
+
+    ``seq`` is the event's position in its journal; on absorb the events
+    are re-sequenced into the parent, so a merged journal's ``seq`` runs
+    0..N-1 in the deterministic merged order.
+    """
+
+    seq: int
+    kind: str
+    request_id: str | None = None
+    video_id: str | None = None
+    attrs: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        return dict(self.attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one JSONL line in journal exports)."""
+        return {
+            "seq": self.seq,
+            "event": self.kind,
+            "request_id": self.request_id,
+            "video_id": self.video_id,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class RequestJournal:
+    """Append-only, deterministic event log (see the module docstring).
+
+    Not thread-safe: concurrent shard solves each get their own journal
+    (via :meth:`repro.obs.telemetry.Observability.child`) and are merged
+    afterwards in deterministic shard order via :meth:`absorb`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[JournalEvent] = []
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        request: Any = None,
+        request_id: str | None = None,
+        video_id: str | None = None,
+        **attrs: Any,
+    ) -> None:
+        """Record one event.
+
+        ``request`` (a :class:`~repro.workload.requests.Request`) fills
+        ``request_id`` and ``video_id``; attribute values must be
+        JSON-serializable scalars or (nested) tuples of them.
+        """
+        if kind not in _EVENT_KIND_SET:
+            raise JournalError(
+                f"unknown event kind {kind!r} (expected one of {EVENT_KINDS})"
+            )
+        if request is not None:
+            request_id = request_key(request)
+            video_id = request.video_id
+        self._events.append(
+            JournalEvent(
+                seq=len(self._events),
+                kind=kind,
+                request_id=request_id,
+                video_id=video_id,
+                attrs=tuple(sorted(attrs.items())),
+            )
+        )
+
+    @property
+    def events(self) -> tuple[JournalEvent, ...]:
+        """Every event in append order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[JournalEvent]:
+        return iter(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind (deterministic for a seeded run)."""
+        out: dict[str, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def absorb(self, events: Iterable[JournalEvent]) -> None:
+        """Append events journaled elsewhere (worker shards), re-sequenced.
+
+        Callers absorb shards in deterministic shard order, so the merged
+        sequence equals what a serial run would have appended directly.
+        """
+        for e in events:
+            self._events.append(replace(e, seq=len(self._events)))
+
+    # -- queries -------------------------------------------------------------
+
+    def request_ids(self) -> tuple[str, ...]:
+        """Distinct request ids in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self._events:
+            if e.request_id is not None:
+                seen.setdefault(e.request_id)
+        return tuple(seen)
+
+    def explain(self, request_id: str) -> tuple[JournalEvent, ...]:
+        """The request's timeline, in journal order.
+
+        Includes the request's own events plus video-scoped events (no
+        ``request_id`` of their own) for any video the request touched --
+        so a timeline shows the SORP victim commits and overflow
+        situations that moved the request's file around.
+        """
+        videos = {
+            e.video_id
+            for e in self._events
+            if e.request_id == request_id and e.video_id is not None
+        }
+        return tuple(
+            e
+            for e in self._events
+            if e.request_id == request_id
+            or (
+                e.request_id is None
+                and e.video_id is not None
+                and e.video_id in videos
+            )
+        )
+
+    def format_timeline(self, request_id: str) -> str:
+        """Human-readable ``explain`` rendering (one line per event)."""
+        events = self.explain(request_id)
+        if not events:
+            return f"no events for request {request_id!r}"
+        lines = [f"timeline for {request_id}:"]
+        for e in events:
+            attrs = ", ".join(f"{k}={_fmt(v)}" for k, v in e.attrs)
+            scope = "" if e.request_id is not None else f" [video {e.video_id}]"
+            lines.append(f"  #{e.seq:<5d} {e.kind}{scope}" + (f"  {attrs}" if attrs else ""))
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(_fmt(v) for v in value) + ")"
+    return str(value)
+
+
+class NullJournal:
+    """Inert journal: records nothing, answers every query empty."""
+
+    enabled = False
+
+    def emit(self, kind: str, **kw: Any) -> None:
+        pass
+
+    @property
+    def events(self) -> tuple[JournalEvent, ...]:
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[JournalEvent]:
+        return iter(())
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    def absorb(self, events: Iterable[JournalEvent]) -> None:
+        pass
+
+    def request_ids(self) -> tuple[str, ...]:
+        return ()
+
+    def explain(self, request_id: str) -> tuple[JournalEvent, ...]:
+        return ()
+
+    def format_timeline(self, request_id: str) -> str:
+        return "journal disabled"
+
+
+NULL_JOURNAL = NullJournal()
+
+
+def write_journal_jsonl(
+    path: str | Path, journal: RequestJournal | NullJournal
+) -> Path:
+    """Write the journal as JSON Lines (one event object per line).
+
+    Keys are sorted, so identical journals produce byte-identical files
+    -- the replay-determinism artifact CI diffs.
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in journal.events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def load_journal_jsonl(path: str | Path) -> RequestJournal:
+    """Rebuild a journal from a JSONL export (for offline ``explain``)."""
+    journal = RequestJournal()
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        try:
+            journal._events.append(
+                JournalEvent(
+                    seq=len(journal._events),
+                    kind=doc["event"],
+                    request_id=doc.get("request_id"),
+                    video_id=doc.get("video_id"),
+                    attrs=tuple(
+                        sorted(
+                            (k, _tupled(v))
+                            for k, v in doc.get("attrs", {}).items()
+                        )
+                    ),
+                )
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise JournalError(
+                f"{path}:{lineno}: malformed journal event: {exc}"
+            ) from exc
+    return journal
+
+
+def _tupled(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "JournalError",
+    "JournalEvent",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "RequestJournal",
+    "load_journal_jsonl",
+    "request_key",
+    "write_journal_jsonl",
+]

@@ -88,6 +88,20 @@ class Gauge:
     ``max``/``min`` gauges also apply their mode on :meth:`set`, so peak
     trackers can be set repeatedly; ``last`` overwrites and ``sum``
     accumulates.
+
+    **Merge contract for ``mode="last"``:** shard merges happen in
+    deterministic shard order (``RequestBatch.by_video()`` order, the
+    same across serial/thread/process backends), and a shard that never
+    touched the gauge does not overwrite it on merge.  "Last" across a
+    sharded run therefore means *the last touched shard in shard order*
+    -- NOT wall-clock last-writer, which would be racy under threads and
+    meaningless across processes.  Consequence: a ``last`` gauge set by
+    multiple shards to different values is order-defined but rarely what
+    you want -- prefer ``max``/``min``/``sum`` for cross-shard
+    aggregation, and reserve ``last`` for values set once per run (or
+    only by the coordinating engine).  Pinned by
+    ``tests/obs/test_metrics.py::TestGaugeLastMergeContract`` and the
+    cross-backend test in ``tests/obs/test_pipeline.py``.
     """
 
     __slots__ = ("_value", "_mode", "_touched")

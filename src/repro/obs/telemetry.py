@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.events import NullJournal, RequestJournal, NULL_JOURNAL
 from repro.obs.metrics import MetricsRegistry, NullRegistry, NULL_REGISTRY
 from repro.obs.trace import NullTracer, SpanRecord, Tracer, NULL_TRACER
 
@@ -62,22 +63,44 @@ class RunTelemetry:
 
 
 class Observability:
-    """One registry + one tracer, passed down the scheduling stack."""
+    """One registry + one tracer + one journal, passed down the stack.
 
-    __slots__ = ("metrics", "tracer")
+    The request journal (:class:`repro.obs.events.RequestJournal`) is
+    opt-in even on a live handle -- ``Observability.on(journal=True)`` --
+    because journaling allocates one record per scheduling decision,
+    which metrics-only callers should not pay for.
+    """
+
+    __slots__ = ("metrics", "tracer", "journal")
 
     def __init__(
         self,
         metrics: MetricsRegistry | NullRegistry,
         tracer: Tracer | NullTracer,
+        journal: RequestJournal | NullJournal | None = None,
     ):
         self.metrics = metrics
         self.tracer = tracer
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     @classmethod
-    def on(cls, *, clock: Callable[[], float] | None = None) -> "Observability":
-        """A live observability handle (fresh registry + tracer)."""
-        return cls(MetricsRegistry(), Tracer(clock))
+    def on(
+        cls,
+        *,
+        clock: Callable[[], float] | None = None,
+        journal: bool = False,
+    ) -> "Observability":
+        """A live observability handle (fresh registry + tracer).
+
+        ``journal=True`` additionally attaches a fresh
+        :class:`~repro.obs.events.RequestJournal` recording the
+        request-lifecycle wide events.
+        """
+        return cls(
+            MetricsRegistry(),
+            Tracer(clock),
+            RequestJournal() if journal else NULL_JOURNAL,
+        )
 
     @classmethod
     def off(cls) -> "Observability":
@@ -97,14 +120,15 @@ class Observability:
         """
         if not self.enabled:
             return NULL_OBS
-        return Observability.on()
+        return Observability.on(journal=self.journal.enabled)
 
     def absorb(self, other: "Observability", *, parent: str | None = None) -> None:
-        """Merge a child handle's metrics and spans into this one."""
+        """Merge a child handle's metrics, spans and journal into this one."""
         if not self.enabled or not other.enabled:
             return
         self.metrics.merge(other.metrics)
         self.tracer.absorb(other.tracer.records, parent=parent)
+        self.journal.absorb(other.journal.events)
 
     def telemetry(self, *, deterministic_only: bool = False) -> RunTelemetry:
         """Snapshot the current metrics + spans as a :class:`RunTelemetry`."""
@@ -115,4 +139,4 @@ class Observability:
 
 
 #: The default, inert handle.  Shared: never mutated, never records.
-NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER)
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER, NULL_JOURNAL)

@@ -34,13 +34,24 @@ from typing import Any, Callable, Iterable
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span."""
+    """One finished span.
+
+    ``span_id``/``parent_id`` stitch the records into a tree: ids are
+    small integers allocated in span-open order (1-based; ``parent_id``
+    0 marks a root).  Records absorbed from worker shards are remapped
+    into the absorbing tracer's id space, so the merged trace is one
+    consistent tree -- the input of the critical-path reducer
+    (:mod:`repro.obs.critpath`).  ``parent`` keeps the enclosing span's
+    *name* for human-readable filtering.
+    """
 
     name: str
     start: float  # seconds since the tracer's epoch (perf_counter domain)
     duration: float  # seconds
     parent: str | None = None
     attrs: tuple[tuple[str, Any], ...] = ()
+    span_id: int = 0
+    parent_id: int = 0
 
     @property
     def attributes(self) -> dict[str, Any]:
@@ -54,13 +65,16 @@ class SpanRecord:
             "duration": self.duration,
             "parent": self.parent,
             "attrs": self.attributes,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
 
 class _ActiveSpan:
     """Context manager that measures one region and records it on exit."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_t0", "_parent")
+    __slots__ = ("_tracer", "_name", "_attrs", "_t0", "_parent", "_span_id",
+                 "_parent_id")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
         self._tracer = tracer
@@ -68,21 +82,29 @@ class _ActiveSpan:
         self._attrs = attrs
         self._t0 = 0.0
         self._parent: str | None = None
+        self._span_id = 0
+        self._parent_id = 0
 
     def set(self, **attrs: Any) -> None:
         """Attach attributes discovered while the span is open."""
         self._attrs.update(attrs)
 
     def __enter__(self) -> "_ActiveSpan":
-        stack = self._tracer._stack
+        tracer = self._tracer
+        stack = tracer._stack
         self._parent = stack[-1] if stack else None
+        self._parent_id = tracer._id_stack[-1] if tracer._id_stack else 0
+        self._span_id = tracer._next_id
+        tracer._next_id += 1
         stack.append(self._name)
-        self._t0 = self._tracer._clock()
+        tracer._id_stack.append(self._span_id)
+        self._t0 = tracer._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         t1 = self._tracer._clock()
         self._tracer._stack.pop()
+        self._tracer._id_stack.pop()
         if exc_type is not None:
             self._attrs.setdefault("error", exc_type.__name__)
         self._tracer._records.append(
@@ -92,6 +114,8 @@ class _ActiveSpan:
                 duration=t1 - self._t0,
                 parent=self._parent,
                 attrs=tuple(sorted(self._attrs.items())),
+                span_id=self._span_id,
+                parent_id=self._parent_id,
             )
         )
         return False
@@ -116,6 +140,8 @@ class Tracer:
         self._epoch = self._clock()
         self._records: list[SpanRecord] = []
         self._stack: list[str] = []
+        self._id_stack: list[int] = []
+        self._next_id = 1
 
     def span(self, name: str, **attrs: Any) -> _ActiveSpan:
         return _ActiveSpan(self, name, attrs)
@@ -138,11 +164,40 @@ class Tracer:
         ``parent`` re-parents *root* records (those without a parent of
         their own) under a local span name, so worker-side ``ivsp.video``
         spans hang off the engine's ``ivsp`` span in the merged trace.
+
+        Span ids are remapped by a constant offset into this tracer's id
+        space; root records additionally get the currently-open span's
+        id as their ``parent_id`` (the engine absorbs shards *inside*
+        its own ``ivsp`` span), so the merged records still form one
+        consistent tree.
         """
+        records = tuple(records)
+        if not records:
+            return
+        offset = self._next_id - 1
+        anchor_id = self._id_stack[-1] if self._id_stack else 0
+        max_seen = 0
         for r in records:
-            if parent is not None and r.parent is None:
-                r = SpanRecord(r.name, r.start, r.duration, parent, r.attrs)
-            self._records.append(r)
+            max_seen = max(max_seen, r.span_id)
+            pname = r.parent
+            if r.parent_id:
+                pid = r.parent_id + offset
+            else:
+                pid = anchor_id if parent is not None else 0
+                if parent is not None and pname is None:
+                    pname = parent
+            self._records.append(
+                SpanRecord(
+                    r.name,
+                    r.start,
+                    r.duration,
+                    pname,
+                    r.attrs,
+                    span_id=r.span_id + offset if r.span_id else 0,
+                    parent_id=pid,
+                )
+            )
+        self._next_id = offset + max_seen + 1
 
 
 class _NullSpan:

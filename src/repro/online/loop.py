@@ -304,6 +304,21 @@ class OnlineAmendmentLoop:
                 if amended is not None:
                     current = amended
                 out.plan = plan
+                self.obs.journal.emit(
+                    "online-batch",
+                    index=record.batch_index,
+                    at=record.at,
+                    events=record.events,
+                    faults=record.faults_total,
+                    outcome=record.outcome,
+                    masking=record.masking,
+                    attempts=record.attempts,
+                    retries=record.retries,
+                    breaker=record.breaker_state,
+                    saved=record.saved,
+                    lost=record.lost,
+                    shed=record.shed,
+                )
                 self._record_batch_metrics(record)
             out.final = current
             out.breaker_transitions = list(self.breaker.transitions)

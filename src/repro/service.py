@@ -196,18 +196,37 @@ class VORService:
         unknown, the neighborhood storage does not exist, the showing is in
         the past, or the lead time is not respected.
         """
+        journal = self.obs.journal
+        rid = (
+            f"{user_id}/{video_id}@{start_time:g}->{local_storage}"
+            if journal.enabled
+            else None
+        )
         if video_id not in self.catalog:
+            journal.emit(
+                "rejected", request_id=rid, video_id=video_id,
+                reason="unknown-title",
+            )
             raise WorkloadError(f"unknown title {video_id!r}")
         if local_storage not in self._storage_names:
+            journal.emit(
+                "rejected", request_id=rid, video_id=video_id,
+                reason="unknown-storage",
+            )
             raise WorkloadError(f"unknown neighborhood storage {local_storage!r}")
         booking_time = self._clock if now is None else now
         if start_time < booking_time + self.lead_time:
+            journal.emit(
+                "rejected", request_id=rid, video_id=video_id,
+                reason="lead-time",
+            )
             raise WorkloadError(
                 f"reservations need {units.fmt_duration(self.lead_time)} lead "
                 f"time: showing at {start_time:g} booked at {booking_time:g}"
             )
         request = Request(start_time, video_id, user_id, local_storage)
         self._pending.append(request)
+        journal.emit("admitted", request=request, start=start_time)
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.counter(
@@ -288,6 +307,10 @@ class VORService:
         self._pending = [
             r for i, r in enumerate(self._pending) if i not in drop
         ]
+        journal = self.obs.journal
+        if journal.enabled:
+            for request in shed:
+                journal.emit("shed", request=request)
         metrics = self.obs.metrics
         if metrics.enabled:
             metrics.counter(
@@ -372,6 +395,15 @@ class VORService:
                     staging = self._staging_planner.plan(patched)
             span.set(
                 impacted=recovery.videos_resolved, feasible=not violations
+            )
+            self.obs.journal.emit(
+                "amended",
+                faults=len(plan),
+                masking=masking,
+                impacted=recovery.videos_resolved,
+                saved=len(recovery.saved),
+                lost=len(recovery.lost),
+                feasible=not violations,
             )
         if violations:
             _log.warning(

@@ -59,6 +59,73 @@ class TestPrometheusText:
         assert prometheus_text(Observability.on().metrics) == ""
 
 
+class TestPrometheusEscaping:
+    """Label-value escaping per the text exposition format."""
+
+    @staticmethod
+    def _render(value):
+        obs = Observability.on()
+        obs.metrics.counter("c_total", path=value).inc()
+        return prometheus_text(obs.metrics)
+
+    def test_backslashes(self):
+        assert r'path="a\\b"' in self._render("a\\b")
+
+    def test_newlines(self):
+        text = self._render("line1\nline2")
+        assert r'path="line1\nline2"' in text
+        # no raw newline may survive inside a label value
+        for line in text.splitlines():
+            assert not line.startswith("line2")
+
+    def test_quotes(self):
+        assert r'path="say \"hi\""' in self._render('say "hi"')
+
+    def test_backslash_escaped_before_quote(self):
+        # a pre-escaped quote in the value must not collapse: the
+        # backslash pass runs first, so \" renders as \\\"
+        assert 'path="\\\\\\""' in self._render('\\"')
+
+    def test_all_three_combined(self):
+        text = self._render('a\\b"c\nd')
+        assert r'path="a\\b\"c\nd"' in text
+
+
+class TestPrometheusOrdering:
+    """# TYPE line order is sorted-by-name, not registration order."""
+
+    def test_type_lines_sorted(self):
+        obs = Observability.on()
+        for name in ("z_total", "a_total", "m_total"):
+            obs.metrics.counter(name).inc()
+        names = [
+            line.split()[2]
+            for line in prometheus_text(obs.metrics).splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert names == sorted(names) == ["a_total", "m_total", "z_total"]
+
+    def test_registration_order_does_not_change_output(self):
+        def build(order):
+            obs = Observability.on()
+            for name in order:
+                obs.metrics.counter(name, help=f"{name} help").inc()
+            return prometheus_text(obs.metrics)
+
+        assert build(("z_total", "a_total")) == build(("a_total", "z_total"))
+
+    def test_merge_order_does_not_change_output(self):
+        def build(order):
+            obs = Observability.on()
+            for name in order:
+                shard = Observability.on()
+                shard.metrics.counter(name).inc()
+                obs.metrics.merge(shard.metrics)
+            return prometheus_text(obs.metrics)
+
+        assert build(("z_total", "a_total")) == build(("a_total", "z_total"))
+
+
 class TestJsonSnapshot:
     def test_layout(self, populated_obs):
         doc = json.loads(json_snapshot(populated_obs.telemetry()))

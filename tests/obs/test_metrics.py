@@ -81,6 +81,67 @@ class TestGauge:
         assert a.gauge("peak", mode="max").value == 9.0
 
 
+class TestGaugeLastMergeContract:
+    """Pin the ``mode="last"`` cross-shard semantics.
+
+    "Last" means the last *touched* shard in deterministic shard order,
+    never a wall-clock last-writer.  See the ``Gauge`` docstring.
+    """
+
+    def test_last_touched_shard_in_merge_order_wins(self):
+        main = MetricsRegistry()
+        shard1 = MetricsRegistry()
+        shard2 = MetricsRegistry()
+        shard1.gauge("cost").set(1.0)
+        shard2.gauge("cost").set(2.0)
+        main.merge(shard1)
+        main.merge(shard2)
+        assert main.gauge("cost").value == 2.0
+
+    def test_merge_order_defines_the_result(self):
+        # the symmetric merge gives the other value: "last" is
+        # order-defined, which is exactly why shard order must be
+        # deterministic
+        main = MetricsRegistry()
+        shard1 = MetricsRegistry()
+        shard2 = MetricsRegistry()
+        shard1.gauge("cost").set(1.0)
+        shard2.gauge("cost").set(2.0)
+        main.merge(shard2)
+        main.merge(shard1)
+        assert main.gauge("cost").value == 1.0
+
+    def test_untouched_later_shard_never_overwrites(self):
+        main = MetricsRegistry()
+        shard1 = MetricsRegistry()
+        shard2 = MetricsRegistry()
+        shard1.gauge("cost").set(1.0)
+        shard2.gauge("cost")  # registered, never set
+        main.merge(shard1)
+        main.merge(shard2)
+        assert main.gauge("cost").value == 1.0
+
+    def test_touched_shard_overwrites_coordinator_value(self):
+        main = MetricsRegistry()
+        shard = MetricsRegistry()
+        main.gauge("cost").set(5.0)
+        shard.gauge("cost").set(7.0)
+        main.merge(shard)
+        assert main.gauge("cost").value == 7.0
+
+    def test_merge_marks_target_touched(self):
+        # a value arriving via merge must survive later untouched merges
+        main = MetricsRegistry()
+        shard1 = MetricsRegistry()
+        shard2 = MetricsRegistry()
+        shard1.gauge("cost").set(3.0)
+        shard2.gauge("cost")
+        main.gauge("cost")  # coordinator registers but never sets
+        main.merge(shard1)
+        main.merge(shard2)
+        assert main.gauge("cost").value == 3.0
+
+
 class TestHistogram:
     def test_observe_buckets_by_upper_bound(self):
         h = Histogram((1, 10, 100))

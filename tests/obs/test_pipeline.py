@@ -107,6 +107,19 @@ class TestCrossBackendDeterminism:
                 counts[backend]["sorp.round"] == counts["serial"]["sorp.round"]
             )
 
+    def test_last_gauges_identical_across_backends(self, runs):
+        # vor_schedule_cost_dollars is a mode="last" gauge set by the
+        # coordinating facade after the shard merges; the Gauge "last"
+        # contract (last touched shard in deterministic shard order)
+        # makes its value backend-invariant
+        def fam(obs):
+            return obs.metrics.snapshot()["vor_schedule_cost_dollars"]
+
+        serial = fam(runs["serial"][1])
+        assert serial["values"]  # the facade populated it
+        assert fam(runs["thread"][1]) == serial
+        assert fam(runs["process"][1]) == serial
+
     def test_cache_eval_totals_deterministic(self, runs):
         # hit/miss splits vary with worker layout, but hits+misses per
         # (cache, phase) counts Ψ evaluations and must match exactly

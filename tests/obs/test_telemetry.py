@@ -1,0 +1,191 @@
+"""RunTelemetry aggregation and JSON snapshot round-trip coverage.
+
+``phase_totals()`` is the per-phase wall-time view every exporter and
+the ``vor-repro report`` dashboard consume; ``json_snapshot`` is the
+``--metrics-out`` document.  These tests pin both on hand-built spans
+and on a real degraded online run, so the snapshot provably carries the
+``vor_online_*`` families and shed-reservation counters end to end.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Observability,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    VORService,
+    units,
+)
+from repro.faults import FaultEvent, FaultKind, FaultSpec, FaultFeed
+from repro.obs import RunTelemetry, json_snapshot
+from repro.obs.trace import SpanRecord
+from repro.online import (
+    OnlineAmendmentLoop,
+    OnlineLoopConfig,
+    TransientFailureInjector,
+)
+
+H = units.HOUR
+
+
+def _span(name, start, duration, parent=None, **attrs):
+    return SpanRecord(
+        name=name,
+        start=start,
+        duration=duration,
+        parent=parent,
+        attrs=tuple(sorted(attrs.items())),
+    )
+
+
+class TestPhaseTotals:
+    def test_aggregates_count_total_and_max(self):
+        t = RunTelemetry(
+            metrics={},
+            spans=(
+                _span("ivsp", 0.0, 0.5),
+                _span("ivsp.video", 0.0, 0.2, parent="ivsp"),
+                _span("ivsp.video", 0.2, 0.3, parent="ivsp"),
+            ),
+        )
+        totals = t.phase_totals()
+        assert totals["ivsp"] == {
+            "count": 1, "total_seconds": 0.5, "max_seconds": 0.5,
+        }
+        assert totals["ivsp.video"]["count"] == 2
+        assert totals["ivsp.video"]["total_seconds"] == pytest.approx(0.5)
+        assert totals["ivsp.video"]["max_seconds"] == pytest.approx(0.3)
+
+    def test_keys_sorted_regardless_of_span_order(self):
+        t = RunTelemetry(
+            metrics={},
+            spans=(_span("sorp", 1.0, 0.1), _span("ivsp", 0.0, 0.1)),
+        )
+        assert list(t.phase_totals()) == ["ivsp", "sorp"]
+
+    def test_empty_spans_empty_totals(self):
+        assert RunTelemetry(metrics={}).phase_totals() == {}
+
+
+@pytest.fixture(scope="module")
+def degraded_online_obs():
+    """A real online run that amends, degrades, sheds, and retries."""
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage("IS1", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_storage("IS2", srate=units.per_gb_hour(2), capacity=units.gb(8))
+    topo.add_edge("VW", "IS1", nrate=units.per_gb(500))
+    topo.add_edge("IS1", "IS2", nrate=units.per_gb(300))
+    topo.add_edge("VW", "IS2", nrate=units.per_gb(900))
+    catalog = VideoCatalog(
+        [
+            VideoFile(f"m{i}", size=units.gb(2.5), playback=units.minutes(90))
+            for i in range(3)
+        ]
+    )
+    obs = Observability.on(journal=True)
+    svc = VORService(topo, catalog, obs=obs)
+    for t in (5, 9, 15):
+        svc.reserve("alice", "m0", t * H, local_storage="IS1")
+    for t in (6, 10):
+        svc.reserve("bob", "m1", t * H, local_storage="IS2")
+    for i in range(3):
+        svc.reserve("carl", "m2", (30 + i) * H, local_storage="IS2")
+    report = svc.close_cycle(cycle_end=24 * H)
+    feed = FaultFeed(
+        events=(
+            FaultEvent(
+                at=1 * H,
+                fault=FaultSpec(
+                    kind=FaultKind.IS_OUTAGE, target="IS1",
+                    t_start=4 * H, t_end=8 * H,
+                ),
+            ),
+            FaultEvent(
+                at=3 * H,
+                fault=FaultSpec(
+                    kind=FaultKind.IS_OUTAGE, target="IS2",
+                    t_start=11 * H, t_end=12 * H,
+                ),
+            ),
+        ),
+        name="telemetry-drill",
+    )
+    loop = OnlineAmendmentLoop(
+        svc,
+        OnlineLoopConfig(
+            max_retries=0,
+            breaker_threshold=1,
+            breaker_cooldown=100 * H,
+            shed_per_degraded_batch=2,
+        ),
+        failure_injector=TransientFailureInjector({0: 1}),
+    )
+    run = loop.run(feed, report)
+    assert run.shed_total > 0  # the drill genuinely shed reservations
+    return obs, run
+
+
+class TestJsonSnapshotRoundTrip:
+    def test_snapshot_parses_back_to_the_source_dict(self, degraded_online_obs):
+        obs, _ = degraded_online_obs
+        telemetry = obs.telemetry()
+        assert json.loads(json_snapshot(telemetry)) == telemetry.to_json_dict()
+
+    def test_carries_online_families(self, degraded_online_obs):
+        obs, run = degraded_online_obs
+        doc = json.loads(json_snapshot(obs.telemetry()))
+        metrics = doc["metrics"]
+        assert metrics["vor_online_events_total"]["values"][0]["value"] == 2
+        batch_outcomes = {
+            tuple(v["labels"].items()): v["value"]
+            for v in metrics["vor_online_batches_total"]["values"]
+        }
+        assert sum(batch_outcomes.values()) == run.batches_total
+        assert metrics["vor_online_breaker_transitions_total"]["values"]
+
+    def test_carries_shed_reservations(self, degraded_online_obs):
+        obs, run = degraded_online_obs
+        metrics = json.loads(json_snapshot(obs.telemetry()))["metrics"]
+        assert (
+            metrics["vor_online_shed_total"]["values"][0]["value"]
+            == run.shed_total
+        )
+        assert (
+            metrics["vor_reservations_shed_total"]["values"][0]["value"]
+            == run.shed_total
+        )
+
+    def test_phases_section_matches_phase_totals(self, degraded_online_obs):
+        obs, _ = degraded_online_obs
+        telemetry = obs.telemetry()
+        doc = json.loads(json_snapshot(telemetry))
+        assert doc["phases"] == telemetry.phase_totals()
+        assert "online_run" in doc["phases"]
+        assert doc["phases"]["online_batch"]["count"] >= 1
+
+    def test_spans_rebuild_into_span_records(self, degraded_online_obs):
+        obs, _ = degraded_online_obs
+        doc = json.loads(json_snapshot(obs.telemetry()))
+        rebuilt = tuple(
+            SpanRecord(
+                name=s["name"],
+                start=s["start"],
+                duration=s["duration"],
+                parent=s["parent"],
+                attrs=tuple(
+                    (k, tuple(v) if isinstance(v, list) else v)
+                    for k, v in s["attrs"].items()
+                ),
+                span_id=s["span_id"],
+                parent_id=s["parent_id"],
+            )
+            for s in doc["spans"]
+        )
+        names = [r.name for r in rebuilt]
+        assert "online_run" in names and "amend_cycle" in names
+        ids = {r.span_id for r in rebuilt}
+        assert all(r.parent_id in ids or r.parent_id == 0 for r in rebuilt)

@@ -97,6 +97,8 @@ class TestTracer:
             "duration": 1.5,
             "parent": None,
             "attrs": {"requests": 3},
+            "span_id": 0,
+            "parent_id": 0,
         }
 
 

@@ -1,0 +1,52 @@
+"""The docs metric catalog must track the families the code emits.
+
+``tools/check_metric_catalog.py`` is the CI lint entry point; these
+tests run the same comparison under pytest so catalog drift also fails
+the tier-1 suite, and pin the name-extraction rules the tool relies on.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_TOOL = (
+    Path(__file__).resolve().parent.parent / "tools" / "check_metric_catalog.py"
+)
+_spec = importlib.util.spec_from_file_location("check_metric_catalog", _TOOL)
+catalog = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(catalog)
+
+
+class TestCatalogDrift:
+    def test_every_emitted_family_is_documented(self):
+        src, doc = catalog.source_metrics(), catalog.documented_metrics()
+        missing = sorted(src - doc)
+        assert not missing, f"undocumented metric families: {missing}"
+
+    def test_every_documented_family_is_emitted(self):
+        src, doc = catalog.source_metrics(), catalog.documented_metrics()
+        stale = sorted(doc - src)
+        assert not stale, f"cataloged but never emitted: {stale}"
+
+    def test_drift_reports_both_directions(self):
+        problems = catalog.drift({"vor_a_total"}, {"vor_b_total"})
+        assert len(problems) == 2
+        assert "vor_a_total" in problems[0] and "missing" in problems[0]
+        assert "vor_b_total" in problems[1] and "never emitted" in problems[1]
+
+    def test_main_exits_zero_on_current_tree(self):
+        assert catalog.main() == 0
+
+
+class TestNameExtraction:
+    def test_doc_regex_ignores_globs_and_bare_prefix(self):
+        text = "see `vor_recovery_*` and the `vor_` prefix, plus `vor_x_total`"
+        assert catalog._DOC_RE.findall(text) == ["vor_x_total"]
+
+    def test_src_regex_only_matches_string_literals(self):
+        text = 'm.counter("vor_real_total")  # docs say ``vor_fake_total``'
+        assert catalog._SRC_RE.findall(text) == ["vor_real_total"]
+
+    def test_source_scan_finds_known_families(self):
+        src = catalog.source_metrics()
+        assert "vor_deliveries_total" in src
+        assert "vor_slo_burn_rate" in src

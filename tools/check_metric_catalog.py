@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Lint: the metric catalog must match the families the code emits.
+
+Every ``vor_*`` family name that appears as a string literal under
+``src/repro/`` must have a backticked entry in the catalog table of
+``docs/OBSERVABILITY.md``, and vice versa.  CI runs this in the lint
+job, so adding a metric without documenting it (or documenting a
+family that no longer exists) fails the build.
+
+Exit status: 0 when the two sets match, 1 on drift (one line per
+offending family on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+#: A family name is only counted where the code can actually register it:
+#: a double-quoted string literal.  Docstring prose (``vor_x{label=...}``)
+#: does not match.
+_SRC_RE = re.compile(r'"(vor_[a-z0-9_]+)"')
+#: Documented names must be backticked whole: `vor_recovery_*` globs and
+#: the bare `vor_` prefix mention are not catalog entries.
+_DOC_RE = re.compile(r"`(vor_[a-z0-9_]+)`")
+
+
+def source_metrics(src: Path = SRC) -> set[str]:
+    names: set[str] = set()
+    for path in sorted(src.rglob("*.py")):
+        names.update(_SRC_RE.findall(path.read_text()))
+    return names
+
+
+def documented_metrics(doc: Path = DOC) -> set[str]:
+    return set(_DOC_RE.findall(doc.read_text()))
+
+
+def drift(src_names: set[str], doc_names: set[str]) -> list[str]:
+    problems = [
+        f"{name}: emitted in src/repro but missing from {DOC.name}"
+        for name in sorted(src_names - doc_names)
+    ]
+    problems += [
+        f"{name}: documented in {DOC.name} but never emitted in src/repro"
+        for name in sorted(doc_names - src_names)
+    ]
+    return problems
+
+
+def main() -> int:
+    src_names = source_metrics()
+    doc_names = documented_metrics()
+    problems = drift(src_names, doc_names)
+    if problems:
+        print("metric catalog drift:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"metric catalog OK: {len(src_names)} families documented in {DOC.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
