@@ -36,6 +36,14 @@ injected transient failure) through the
 plus the deterministic batch/retry/shed counters and the windowed-vs-cycle
 lost-request comparison -- the windowed stance must never lose a request
 cycle masking would save.
+
+The multi-cycle horizon drill replays the committed
+``benchmarks/scenarios/rush_hour_brownout.jsonl`` feed through a 3-cycle
+:class:`~repro.horizon.HorizonOrchestrator` on the shrunken-cache
+two-warehouse topology, gating the migration decisions, the per-cycle
+Ψ trajectory, the resume/restart split, and the migrating-vs-frozen
+horizon-total Ψ comparison -- migration must never cost more than the
+frozen replica map, staging included.
 """
 
 import argparse
@@ -159,6 +167,21 @@ _DETERMINISTIC_SLO_KEYS = (
     "amendment_failure_rate",
     "shed_rate",
 )
+#: Horizon-drill keys that must match bit-for-bit: the multi-cycle
+#: trajectory is a pure function of (workload seed, committed feed).
+_DETERMINISTIC_HORIZON_KEYS = (
+    "cycles",
+    "migrations_accepted",
+    "migrations_rejected",
+    "staging_dollars",
+    "resumed",
+    "restarted",
+    "resume_credit_dollars",
+    "carried_events",
+    "psi_trajectory",
+    "psi_total_dollars",
+    "psi_frozen_dollars",
+)
 
 
 def compare_reports(baseline: dict, current: dict) -> list[str]:
@@ -213,6 +236,13 @@ def compare_reports(baseline: dict, current: dict) -> list[str]:
             problems.append(
                 f"online.slo.{key} regressed: baseline {b_slo.get(key)!r} vs "
                 f"{c_slo.get(key)!r}"
+            )
+    b_hor, c_hor = baseline.get("horizon", {}), current.get("horizon", {})
+    for key in _DETERMINISTIC_HORIZON_KEYS:
+        if b_hor.get(key) != c_hor.get(key):
+            problems.append(
+                f"horizon.{key} regressed: baseline {b_hor.get(key)!r} vs "
+                f"{c_hor.get(key)!r}"
             )
     return problems
 
@@ -369,6 +399,72 @@ def _online_drill(n_videos: int, users: int):
     }
 
 
+def _horizon_drill(n_videos: int, users: int):
+    """Multi-cycle horizon drill on the rush-hour-brownout scenario.
+
+    Shrinks the neighborhood caches to 3 GB (a demand spike the caches
+    cannot absorb -- the regime where staged replicas pay for
+    themselves), grafts a second warehouse behind IS15, and replays the
+    committed boundary-straddling brownout feed through a 3-cycle
+    horizon twice: once with the migration planner live, once with the
+    replica map frozen.  Everything but the wall time is deterministic.
+    """
+    from pathlib import Path
+
+    from repro import ReplicaMap
+    from repro.faults import FaultFeed
+    from repro.horizon import (
+        HorizonConfig,
+        HorizonOrchestrator,
+        generate_drifting_cycles,
+    )
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(3),
+    )
+    topo.add_warehouse("VW2")
+    topo.add_edge("IS15", "VW2", nrate=units.per_gb(100))
+    catalog = paper_catalog(n_videos=n_videos, seed=4)
+    cycles = generate_drifting_cycles(
+        topo, catalog, cycles=3, cycle_length=units.DAY, seed=4, churn=0.5,
+        users_per_neighborhood=users,
+    )
+    replicas = ReplicaMap.heat_placement(
+        topo, catalog, cycles[0][0], degree=1, seed=0
+    )
+    feed = FaultFeed.load(
+        Path(__file__).parent / "scenarios" / "rush_hour_brownout.jsonl"
+    )
+    t0 = time.perf_counter()
+    report = HorizonOrchestrator(topo, catalog, replicas=replicas).run(
+        cycles, feed=feed
+    )
+    wall = time.perf_counter() - t0
+    frozen = HorizonOrchestrator(
+        topo, catalog, replicas=replicas,
+        config=HorizonConfig(migration=None),
+    ).run(cycles, feed=feed)
+    assert report.total_psi <= frozen.total_psi + 1e-6, (
+        "migration raised horizon-total psi!"
+    )
+    return {
+        "cycles": len(report.cycles),
+        "migrations_accepted": report.migrations_accepted,
+        "migrations_rejected": report.migrations_rejected,
+        "staging_dollars": round(report.staging_cost, 6),
+        "resumed": report.resumed,
+        "restarted": report.restarted,
+        "resume_credit_dollars": round(report.resume_credit, 6),
+        "carried_events": sum(c.carried_events for c in report.cycles),
+        "psi_trajectory": [round(p, 6) for p in report.psi_trajectory],
+        "psi_total_dollars": round(report.total_psi, 6),
+        "psi_frozen_dollars": round(frozen.total_psi, 6),
+        "wall_time_seconds": wall,
+    }
+
+
 def _time_phase1(topo, catalog, batch, config, repeats):
     """Best-of-N wall time of one Phase-1 run plus its result."""
     best = float("inf")
@@ -488,6 +584,16 @@ def main(argv=None) -> int:
         f"windowed loses {online['requests_lost_windowed']} vs "
         f"{online['requests_lost_cycle']} whole-cycle"
     )
+    horizon = _horizon_drill(n_videos, users)
+    print(
+        f"horizon drill: {horizon['cycles']} cycle(s), "
+        f"{horizon['migrations_accepted']} migration(s) accepted "
+        f"(staging ${horizon['staging_dollars']:,.2f}), "
+        f"{horizon['resumed']} resumed / {horizon['restarted']} restarted "
+        f"in {horizon['wall_time_seconds']:.3f}s; "
+        f"psi ${horizon['psi_total_dollars']:,.2f} migrating vs "
+        f"${horizon['psi_frozen_dollars']:,.2f} frozen"
+    )
     if args.json_out or args.compare:
         report = {
             "benchmark": "phase1_speedup",
@@ -526,6 +632,7 @@ def main(argv=None) -> int:
             },
             "recovery": recovery,
             "online": online,
+            "horizon": horizon,
         }
         if args.json_out:
             with open(args.json_out, "w") as fh:

@@ -68,6 +68,17 @@ from repro.online import (
     TransientFailureInjector,
     TransientResolveError,
 )
+from repro.horizon import (
+    CarryoverLedger,
+    HorizonConfig,
+    HorizonOrchestrator,
+    HorizonReport,
+    MigrationConfig,
+    MigrationPlan,
+    MigrationPlanner,
+    build_resume_ledger,
+    generate_drifting_cycles,
+)
 from repro.obs import NULL_OBS, Observability, RunTelemetry, configure_logging
 from repro.replication import ReplicaMap
 from repro.topology import (
@@ -151,6 +162,15 @@ __all__ = [
     "TransientFailureInjector",
     "TransientResolveError",
     "ReplicaMap",
+    "CarryoverLedger",
+    "HorizonConfig",
+    "HorizonOrchestrator",
+    "HorizonReport",
+    "MigrationConfig",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "build_resume_ledger",
+    "generate_drifting_cycles",
     "ChargingBasis",
     "Router",
     "Topology",

@@ -14,6 +14,7 @@ Usage::
     vor-repro simulate ENV.json    # schedule + replay + feasibility verdict
     vor-repro run-faults ENV.json --scenario f.json   # fault drill + recovery
     vor-repro run-online ENV.json --feed f.jsonl      # online amendment loop
+    vor-repro run-horizon ENV.json --cycles 3         # multi-cycle horizon
 
 ``--quick`` swaps the Table 4 configuration for the scaled-down variant
 (same shapes, ~20x faster).  Every command prints the reproduced table and
@@ -42,6 +43,17 @@ and sheds pending reservations (``--shed``, ``--cycle-fraction``).
 ``--inject-failures 0:2,3:1`` injects deterministic transient failures for
 drills; ``--online-report-out`` writes the machine-readable run report.
 The process exits non-zero when the loop ends without a valid schedule.
+
+``run-horizon`` chains several day-cycles through the
+:class:`~repro.horizon.HorizonOrchestrator`: each cycle draws a seeded
+workload whose Zipf heat drifts by ``--churn`` between cycles, the
+between-cycle :class:`~repro.horizon.MigrationPlanner` re-homes replicas
+when the projected Ψ saving beats the priced staging transfer (disable
+with ``--no-migrate``), and an optional ``--feed`` is split across cycle
+boundaries so a fault window straddling two cycles is amended into both.
+``--horizon-report-out`` writes the replay-invariant horizon report
+(byte-identical across backends and reruns); the process exits non-zero
+when any cycle ends infeasible.
 
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
@@ -125,19 +137,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "simulate",
             "run-faults",
             "run-online",
+            "run-horizon",
             "slo-check",
         ],
         help="which paper artifact to reproduce ('report' writes all of "
         "them to --out, or renders a terminal dashboard with --telemetry; "
-        "'run-env'/'simulate'/'run-faults'/'run-online' schedule an "
-        "environment JSON; 'slo-check' gates an online report JSON)",
+        "'run-env'/'simulate'/'run-faults'/'run-online'/'run-horizon' "
+        "schedule an environment JSON; 'slo-check' gates an online report "
+        "JSON)",
     )
     parser.add_argument(
         "env_file",
         nargs="?",
         default=None,
         help="environment JSON for the 'run-env'/'simulate'/'run-faults'/"
-        "'run-online' commands, or the online report JSON for 'slo-check'",
+        "'run-online'/'run-horizon' commands, or the online report JSON "
+        "for 'slo-check'",
     )
     parser.add_argument(
         "--quick",
@@ -375,6 +390,73 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="for 'report': include a --journal-out JSONL in the dashboard "
         "(event mix; timelines via --explain)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=3,
+        metavar="N",
+        help="cycles in the 'run-horizon' horizon (default 3)",
+    )
+    parser.add_argument(
+        "--cycle-length",
+        type=float,
+        default=86400.0,
+        metavar="SECONDS",
+        help="virtual length of each horizon cycle (default 86400: one day)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fraction of popularity ranks reassigned between horizon "
+        "cycles (default 0.5)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=4,
+        metavar="N",
+        help="users per neighborhood in each generated horizon cycle "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--no-migrate",
+        action="store_true",
+        help="freeze the initial replica map for the whole horizon "
+        "(skip the between-cycle migration planner)",
+    )
+    parser.add_argument(
+        "--degree",
+        type=int,
+        default=1,
+        metavar="K",
+        help="replica degree for the migration planner's candidate "
+        "placement, and for the default heat placement when --replicas "
+        "is omitted (default 1)",
+    )
+    parser.add_argument(
+        "--staging-window",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="tape-drive budget window for accepted migrations; 0 "
+        "disables the budget (default 3600)",
+    )
+    parser.add_argument(
+        "--horizon-report-out",
+        default=None,
+        metavar="PATH",
+        help="write the horizon report as JSON for 'run-horizon' "
+        "(replay-invariant: identical runs produce byte-identical files)",
+    )
+    parser.add_argument(
+        "--horizon-report",
+        default=None,
+        metavar="PATH",
+        help="for 'report': include a --horizon-report-out JSON in the "
+        "dashboard (per-cycle Ψ trajectory, migrations, resumes)",
     )
     return parser
 
@@ -966,6 +1048,167 @@ def _run_online(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_horizon(args: argparse.Namespace) -> int:
+    """Multi-cycle drill: chained cycles, migration, boundary fault feeds.
+
+    Loads the environment's topology and catalog (any ``requests``
+    section is ignored -- the horizon generates one drifting batch per
+    cycle from ``--seed``), runs the
+    :class:`~repro.horizon.HorizonOrchestrator`, prints the per-cycle
+    table and summary, and exits non-zero when any cycle ends
+    infeasible.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis import format_table
+    from repro.core.parallel import ParallelConfig
+    from repro.errors import FaultError, ReproError, ScheduleError
+    from repro.faults.feed import FaultFeed
+    from repro.horizon import (
+        HorizonConfig,
+        HorizonOrchestrator,
+        MigrationConfig,
+        generate_drifting_cycles,
+    )
+    from repro.io import load_environment
+    from repro.obs import NULL_OBS, Observability
+    from repro.online import OnlineLoopConfig
+
+    if not args.env_file:
+        raise SystemExit("run-horizon requires an environment JSON path")
+    topology, catalog, batch = load_environment(args.env_file)
+    if batch is not None:
+        _log.info(
+            "ignoring the environment's %d-request batch: run-horizon "
+            "generates one drifting batch per cycle from --seed",
+            len(batch),
+        )
+    try:
+        parallel = ParallelConfig(
+            backend=args.phase1_backend, workers=args.phase1_workers
+        )
+    except ScheduleError as exc:
+        raise SystemExit(f"invalid phase-1 options: {exc}") from exc
+    if args.cycles < 1:
+        raise SystemExit(f"--cycles must be >= 1, got {args.cycles}")
+    if args.cycle_length <= 0:
+        raise SystemExit(
+            f"--cycle-length must be positive, got {args.cycle_length}"
+        )
+    cycles = generate_drifting_cycles(
+        topology,
+        catalog,
+        cycles=args.cycles,
+        cycle_length=args.cycle_length,
+        seed=args.seed,
+        churn=args.churn,
+        users_per_neighborhood=args.users,
+    )
+    replicas = _parse_replicas(
+        args.replicas, topology, catalog, cycles[0][0], seed=args.seed
+    )
+    if replicas is None and not args.no_migrate:
+        # migration needs explicit homes to move; default to the same
+        # heat placement --replicas heat:K would build
+        replicas = _parse_replicas(
+            f"heat:{args.degree}", topology, catalog, cycles[0][0],
+            seed=args.seed,
+        )
+    feed = None
+    if args.feed:
+        try:
+            feed = FaultFeed.load(args.feed)
+        except FaultError as exc:
+            raise SystemExit(f"invalid --feed: {exc}") from exc
+        _log.info("loaded %d event(s) from %s", len(feed), args.feed)
+    if args.feed_out and feed is not None:
+        feed.save(args.feed_out)
+        _log.info("wrote fault feed to %s", args.feed_out)
+
+    want_journal = bool(args.journal_out or args.explain)
+    want_telemetry = bool(args.metrics_out or args.trace_out or want_journal)
+    obs = (
+        Observability.on(journal=want_journal) if want_telemetry else NULL_OBS
+    )
+    migration = (
+        None
+        if args.no_migrate
+        else MigrationConfig(
+            degree=args.degree,
+            seed=args.seed,
+            staging_window=args.staging_window or None,
+        )
+    )
+    config = HorizonConfig(
+        migration=migration,
+        online=OnlineLoopConfig(
+            debounce=args.debounce, masking=args.masking, seed=args.seed
+        ),
+    )
+    try:
+        orchestrator = HorizonOrchestrator(
+            topology,
+            catalog,
+            replicas=replicas,
+            parallel=parallel,
+            obs=obs,
+            config=config,
+        )
+        report = orchestrator.run(cycles, feed=feed)
+    except ReproError as exc:
+        raise SystemExit(f"horizon run failed: {exc}") from exc
+
+    rows = [
+        [
+            c.index,
+            c.requests,
+            c.psi_net,
+            c.fault_events,
+            c.carried_events,
+            c.resumed,
+            c.restarted,
+            "yes" if c.feasible else "NO",
+        ]
+        for c in report.cycles
+    ]
+    print(
+        format_table(
+            [
+                "cycle", "requests", "psi net ($)", "fault events",
+                "carried", "resumed", "restarted", "feasible",
+            ],
+            rows,
+            title=f"horizon for {args.env_file} "
+            f"[{args.cycles} cycle(s), seed {args.seed}, "
+            f"{'frozen' if args.no_migrate else 'migrating'}]",
+        )
+    )
+    print(report.summary())
+    _write_telemetry(args, obs)
+
+    if args.horizon_report_out:
+        doc = {
+            "environment": str(args.env_file),
+            "seed": args.seed,
+            "cycles_requested": args.cycles,
+            "cycle_length": args.cycle_length,
+            "churn": args.churn,
+            "migration": not args.no_migrate,
+            "feed": feed.name if feed is not None else None,
+            "deterministic": report.deterministic_dict(),
+        }
+        pathlib.Path(args.horizon_report_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        _log.info("wrote horizon report to %s", args.horizon_report_out)
+    if not report.feasible:
+        print("horizon ended with an infeasible cycle")
+        return 1
+    print("horizon feasible: every cycle valid")
+    return 0
+
+
 def _slo_check(args: argparse.Namespace) -> int:
     """Gate an online report JSON against an SLO policy (non-zero on breach).
 
@@ -1022,10 +1265,14 @@ def _report_dashboard(args: argparse.Namespace) -> int:
     from repro.analysis.series import Series
     from repro.obs import SpanRecord, format_critical_paths, load_journal_jsonl
 
-    try:
-        doc = json.loads(pathlib.Path(args.telemetry).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"cannot read --telemetry {args.telemetry}: {exc}") from exc
+    doc = {}
+    if args.telemetry:
+        try:
+            doc = json.loads(pathlib.Path(args.telemetry).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read --telemetry {args.telemetry}: {exc}"
+            ) from exc
 
     phases = doc.get("phases") or {}
     if phases:
@@ -1098,6 +1345,71 @@ def _report_dashboard(args: argparse.Namespace) -> int:
                 f"top {min(40, len(rows))} series)",
             )
         )
+
+    if args.horizon_report:
+        try:
+            hdoc = json.loads(pathlib.Path(args.horizon_report).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read --horizon-report {args.horizon_report}: {exc}"
+            ) from exc
+        det = hdoc.get("deterministic") or {}
+        cycles = det.get("cycles") or []
+        if cycles:
+            print()
+            print(
+                format_table(
+                    [
+                        "cycle", "requests", "psi net ($)", "fault events",
+                        "resumed", "restarted", "feasible",
+                    ],
+                    [
+                        [
+                            c.get("index"),
+                            c.get("requests"),
+                            c.get("psi_net"),
+                            c.get("fault_events"),
+                            c.get("resumed"),
+                            c.get("restarted"),
+                            "yes" if c.get("feasible") else "NO",
+                        ]
+                        for c in cycles
+                    ],
+                    title=f"horizon cycles [{args.horizon_report}]",
+                )
+            )
+        print()
+        print(
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["cycles run", len(cycles)],
+                    ["migrations accepted", det.get("migrations_accepted")],
+                    ["migrations rejected", det.get("migrations_rejected")],
+                    ["staging cost ($)", det.get("staging_cost")],
+                    ["streams resumed", det.get("resumed")],
+                    ["streams restarted", det.get("restarted")],
+                    ["resume credit ($)", det.get("resume_credit")],
+                    ["horizon total psi ($)", det.get("total_psi")],
+                ],
+                title="horizon summary",
+            )
+        )
+        trajectory = det.get("psi_trajectory") or []
+        if len(trajectory) > 1:
+            print()
+            print(
+                ascii_chart(
+                    [
+                        Series(
+                            "psi net ($)",
+                            x=tuple(float(i) for i in range(len(trajectory))),
+                            y=tuple(float(p) for p in trajectory),
+                        )
+                    ],
+                    title="per-cycle net psi trajectory",
+                )
+            )
 
     if args.journal:
         journal = load_journal_jsonl(args.journal)
@@ -1187,7 +1499,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             _run_one(name, args)
             print()
     elif args.experiment == "report":
-        if args.telemetry:
+        if args.telemetry or args.horizon_report:
             return _report_dashboard(args)
         _write_report(args)
     elif args.experiment == "run-env":
@@ -1198,6 +1510,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_faults(args)
     elif args.experiment == "run-online":
         return _run_online(args)
+    elif args.experiment == "run-horizon":
+        return _run_horizon(args)
     elif args.experiment == "slo-check":
         return _slo_check(args)
     else:

@@ -227,6 +227,24 @@ class CostModel:
         state["_d_misses"] = 0
         return state
 
+    def with_replicas(self, replicas) -> "CostModel":
+        """A clone of this model carrying a different replica map.
+
+        Pricing is placement-independent (the map only restricts which
+        warehouses are *candidates*), so the memoized Ψ_C/Ψ_D caches stay
+        shared with the original; counters start fresh.  Subclasses (e.g.
+        diurnal tariffs) are preserved by the shallow copy.  This is how
+        the horizon layer swaps replica maps between cycles without
+        rebuilding the model.
+        """
+        clone = copy.copy(self)
+        clone._replicas = replicas
+        clone._c_hits = 0
+        clone._c_misses = 0
+        clone._d_hits = 0
+        clone._d_misses = 0
+        return clone
+
     def worker_view(self) -> "CostModel":
         """A clone sharing this model's memoized caches with fresh counters.
 

@@ -233,6 +233,22 @@ class RollingScheduler:
         self._cycle_index += 1
         return result
 
+    def rebind(self, cost_model: CostModel) -> None:
+        """Swap the scheduling cost model between cycles.
+
+        The carryover state, cycle numbering and boundary clock are
+        preserved -- only the model the Phase-1 engine and SORP price
+        against changes.  This is the replica-migration hook: the horizon
+        layer rebinds a model carrying the migrated
+        :class:`~repro.replication.ReplicaMap` and the next
+        :meth:`schedule_cycle` serves from the new homes.
+        """
+        validate_topology(self.topology, replicas=cost_model.replicas)
+        self.cost_model = cost_model
+        self._engine = ParallelIndividualScheduler(
+            cost_model, self._engine.config, obs=self.obs
+        )
+
     def amend_cycle(self, result: CycleResult, plan, *, batch=None,
                     masking: str = "cycle"):
         """Re-solve the last closed cycle around an active fault plan.

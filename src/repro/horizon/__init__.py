@@ -1,0 +1,45 @@
+"""Multi-cycle horizon orchestration: migration, resume, boundary feeds.
+
+See :mod:`repro.horizon.orchestrator` for the cycle-chaining loop,
+:mod:`repro.horizon.migration` for the between-cycle replica migration
+planner, and :mod:`repro.horizon.carryover` for the mid-stream resume
+ledger.
+"""
+
+from repro.horizon.carryover import (
+    CarryoverLedger,
+    ResumeEntry,
+    build_resume_ledger,
+)
+from repro.horizon.migration import (
+    MigrationConfig,
+    MigrationMove,
+    MigrationPlan,
+    MigrationPlanner,
+    VideoDecision,
+)
+from repro.horizon.orchestrator import (
+    CycleOutcome,
+    HorizonConfig,
+    HorizonOrchestrator,
+    HorizonReport,
+    generate_drifting_cycles,
+    split_events,
+)
+
+__all__ = [
+    "CarryoverLedger",
+    "CycleOutcome",
+    "HorizonConfig",
+    "HorizonOrchestrator",
+    "HorizonReport",
+    "MigrationConfig",
+    "MigrationMove",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "ResumeEntry",
+    "VideoDecision",
+    "build_resume_ledger",
+    "generate_drifting_cycles",
+    "split_events",
+]

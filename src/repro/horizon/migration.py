@@ -1,0 +1,488 @@
+"""Heat-driven replica migration between scheduling cycles.
+
+A long-running VOR service watches popularity drift: the replica map that
+was cheap for cycle ``k`` leaves the new hot titles homed far from their
+audiences in cycle ``k+1``.  :class:`MigrationPlanner` closes that gap at
+each cycle boundary:
+
+1. **Re-derive heat** from the cycle that just closed (its observed request
+   batch) and build a candidate map with
+   :meth:`repro.replication.ReplicaMap.heat_placement`.
+2. **Price every per-video delta as a real staged transfer**: each added
+   copy ships ``video.size`` bytes from the cheapest incumbent home over
+   the priced network (:meth:`repro.core.costmodel.CostModel.transfer_rate`)
+   and occupies a tape drive for
+   :meth:`repro.warehouse.hierarchy.WarehouseSpec.staging_duration`
+   seconds of the inter-cycle maintenance window.
+3. **Accept only paying moves**: a video's move must project strictly more
+   delivery-Ψ savings over the *next* cycle's already-booked reservations
+   (VOR lead time means that demand is known) than its staging transfers
+   cost, and the surviving move set must also win a full two-phase **trial
+   solve** of the next batch -- candidate Ψ plus staging cost strictly
+   below incumbent Ψ -- before it is adopted.
+
+The planner is a pure function of its inputs: no wall clock, no RNG beyond
+the seeded candidate placement, so the same arguments always return the
+same plan on every Phase-1 backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import VideoCatalog
+from repro.core.costmodel import CostModel
+from repro.core.heat import HeatMetric
+from repro.core.parallel import ParallelConfig
+from repro.core.scheduler import VideoScheduler
+from repro.errors import ReplicationError
+from repro.replication.replica import ReplicaMap
+from repro.topology.graph import Topology
+from repro.topology.routing import Router
+from repro.warehouse.hierarchy import WarehouseSpec
+from repro.workload.requests import RequestBatch
+
+#: Why a per-video move was (not) adopted.
+MOVE_REASONS = (
+    "accepted",        # projected savings beat staging cost and the trial solve
+    "no-demand",       # title not booked next cycle: nothing to save on
+    "no-improvement",  # projected savings do not strictly beat staging cost
+    "unreachable",     # an added home cannot be staged from any incumbent home
+    "drive-budget",    # tape drives cannot fit the staging in the window
+    "trial-regression",  # the aggregate trial solve did not confirm the win
+)
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Tuning of the between-cycle migration planner.
+
+    Attributes:
+        degree: Copies per cold title in the candidate placement.
+        hot_fraction: Fraction of titles treated as hot.
+        hot_degree: Copies per hot title (``None`` = every warehouse).
+        seed: Seed for the candidate placement's round-robin offset.
+        staging_window: Seconds of inter-cycle maintenance window available
+            for staging transfers.  Total accepted drive time is capped at
+            ``tape_drives * staging_window`` when a
+            :class:`~repro.warehouse.hierarchy.WarehouseSpec` is present;
+            ``None`` disables the budget.
+    """
+
+    degree: int = 1
+    hot_fraction: float = 0.25
+    hot_degree: int | None = None
+    seed: int = 0
+    staging_window: float | None = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.staging_window is not None and self.staging_window <= 0:
+            raise ReplicationError(
+                f"staging_window must be positive, got {self.staging_window}"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationMove:
+    """One staged copy movement: add a copy at (or drop one from) a home."""
+
+    video_id: str
+    action: str  # "add" | "drop"
+    warehouse: str
+    #: Incumbent home the new copy ships from ("" for drops).
+    source: str = ""
+    #: Ψ_D of the staging transfer (0 for drops -- deletion is free).
+    transfer_cost: float = 0.0
+    #: Tape-drive seconds the staging occupies (0 for drops).
+    staging_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class VideoDecision:
+    """The planner's verdict on one video's proposed home-set change."""
+
+    video_id: str
+    accepted: bool
+    reason: str
+    moves: tuple[MigrationMove, ...] = ()
+    #: Projected next-cycle delivery-Ψ saving of the candidate homes.
+    projected_saving: float = 0.0
+    #: Total staging transfer cost of the added copies.
+    staging_cost: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "video_id": self.video_id,
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "moves": [
+                {
+                    "action": m.action,
+                    "warehouse": m.warehouse,
+                    "source": m.source,
+                    "transfer_cost": round(m.transfer_cost, 6),
+                    "staging_seconds": round(m.staging_seconds, 6),
+                }
+                for m in self.moves
+            ],
+            "projected_saving": round(self.projected_saving, 6),
+            "staging_cost": round(self.staging_cost, 6),
+        }
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Everything one cycle-boundary migration decision produced."""
+
+    boundary_index: int
+    old_map: ReplicaMap
+    new_map: ReplicaMap
+    accepted: tuple[VideoDecision, ...] = ()
+    rejected: tuple[VideoDecision, ...] = ()
+    #: Trial-solve Ψ of the next batch under each map (``None`` when no
+    #: move survived the per-video screen and no trial ran).
+    trial_psi_incumbent: float | None = None
+    trial_psi_candidate: float | None = None
+
+    @property
+    def staging_cost(self) -> float:
+        """Total transfer cost of every accepted staging."""
+        return math.fsum(d.staging_cost for d in self.accepted)
+
+    @property
+    def projected_saving(self) -> float:
+        return math.fsum(d.projected_saving for d in self.accepted)
+
+    @property
+    def staging_seconds(self) -> float:
+        return math.fsum(
+            m.staging_seconds for d in self.accepted for m in d.moves
+        )
+
+    @property
+    def moves(self) -> tuple[MigrationMove, ...]:
+        return tuple(m for d in self.accepted for m in d.moves)
+
+    @property
+    def applied(self) -> bool:
+        return bool(self.accepted)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "boundary_index": self.boundary_index,
+            "accepted": [d.to_json_dict() for d in self.accepted],
+            "rejected": [d.to_json_dict() for d in self.rejected],
+            "staging_cost": round(self.staging_cost, 6),
+            "projected_saving": round(self.projected_saving, 6),
+            "trial_psi_incumbent": (
+                None
+                if self.trial_psi_incumbent is None
+                else round(self.trial_psi_incumbent, 6)
+            ),
+            "trial_psi_candidate": (
+                None
+                if self.trial_psi_candidate is None
+                else round(self.trial_psi_candidate, 6)
+            ),
+        }
+
+
+@dataclass
+class _Candidate:
+    """Internal: a video change that passed the per-video screen."""
+
+    video_id: str
+    moves: list[MigrationMove] = field(default_factory=list)
+    saving: float = 0.0
+    staging_cost: float = 0.0
+    staging_seconds: float = 0.0
+
+
+class MigrationPlanner:
+    """Propose and screen replica-map deltas at a cycle boundary.
+
+    Args:
+        topology: The delivery infrastructure.
+        catalog: Offered titles.
+        config: Candidate placement + budget tuning.
+        warehouse: Optional tape hierarchy; when present, staging transfers
+            consume drive time against ``config.staging_window``.
+        heat_metric: Phase-2 victim criterion used by the trial solves.
+        parallel: Phase-1 execution plan for the trial solves (results are
+            bit-identical across backends either way).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        config: MigrationConfig | None = None,
+        warehouse: WarehouseSpec | None = None,
+        heat_metric: HeatMetric = HeatMetric.SPACE_TIME_PER_COST,
+        parallel: ParallelConfig | None = None,
+    ):
+        self.topology = topology
+        self.catalog = catalog
+        self.config = config if config is not None else MigrationConfig()
+        self.warehouse = warehouse
+        self.heat_metric = heat_metric
+        self.parallel = parallel
+        self._router = Router(topology)
+        #: warehouse -> {destination -> cheapest $/byte}, filled lazily.
+        self._rates: dict[str, dict[str, float]] = {}
+
+    # -- the boundary decision ---------------------------------------------
+
+    def plan(
+        self,
+        closed_batch: RequestBatch,
+        next_batch: RequestBatch,
+        cost_model: CostModel,
+        *,
+        boundary_index: int = 0,
+    ) -> MigrationPlan:
+        """Decide the replica map for the next cycle.
+
+        Args:
+            closed_batch: The requests of the cycle that just closed --
+                the heat signal driving the candidate placement.
+            next_batch: The already-booked reservations of the upcoming
+                cycle -- the demand the savings are projected over.
+            cost_model: The service's current model; its
+                :attr:`~repro.core.costmodel.CostModel.replicas` is the
+                incumbent map (required).
+            boundary_index: Which boundary this is (reporting only).
+        """
+        incumbent = cost_model.replicas
+        if incumbent is None:
+            raise ReplicationError(
+                "migration planning needs an incumbent replica map: "
+                "construct the service with replicas="
+            )
+        candidate = ReplicaMap.heat_placement(
+            self.topology,
+            self.catalog,
+            closed_batch,
+            degree=self.config.degree,
+            hot_fraction=self.config.hot_fraction,
+            hot_degree=self.config.hot_degree,
+            seed=self.config.seed,
+        )
+        demand = next_batch.by_video() if next_batch else {}
+
+        screened: list[_Candidate] = []
+        rejected: list[VideoDecision] = []
+        for video_id in sorted(v.video_id for v in self.catalog):
+            old_homes = frozenset(incumbent.homes(video_id))
+            new_homes = frozenset(candidate.homes(video_id))
+            if old_homes == new_homes:
+                continue
+            verdict = self._screen_video(
+                video_id, old_homes, new_homes,
+                demand.get(video_id, ()), cost_model,
+            )
+            if isinstance(verdict, _Candidate):
+                screened.append(verdict)
+            else:
+                rejected.append(verdict)
+
+        screened = self._fit_drive_budget(screened, rejected)
+        if not screened:
+            return MigrationPlan(
+                boundary_index=boundary_index,
+                old_map=incumbent,
+                new_map=incumbent,
+                rejected=tuple(rejected),
+            )
+
+        pruned = self._compose_map(incumbent, candidate, screened)
+        psi_inc, psi_cand = self._trial(next_batch, cost_model, pruned)
+        staging_total = math.fsum(c.staging_cost for c in screened)
+        if psi_cand + staging_total < psi_inc:
+            accepted = tuple(
+                VideoDecision(
+                    video_id=c.video_id,
+                    accepted=True,
+                    reason="accepted",
+                    moves=tuple(c.moves),
+                    projected_saving=c.saving,
+                    staging_cost=c.staging_cost,
+                )
+                for c in screened
+            )
+            new_map = pruned
+        else:
+            rejected.extend(
+                VideoDecision(
+                    video_id=c.video_id,
+                    accepted=False,
+                    reason="trial-regression",
+                    moves=tuple(c.moves),
+                    projected_saving=c.saving,
+                    staging_cost=c.staging_cost,
+                )
+                for c in screened
+            )
+            accepted = ()
+            new_map = incumbent
+        return MigrationPlan(
+            boundary_index=boundary_index,
+            old_map=incumbent,
+            new_map=new_map,
+            accepted=accepted,
+            rejected=tuple(sorted(rejected, key=lambda d: d.video_id)),
+            trial_psi_incumbent=psi_inc,
+            trial_psi_candidate=psi_cand,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _rates_from(self, warehouse: str) -> dict[str, float]:
+        rates = self._rates.get(warehouse)
+        if rates is None:
+            rates = self._router.all_rates_from(warehouse)
+            self._rates[warehouse] = rates
+        return rates
+
+    def _best_rate(self, homes: frozenset[str], dst: str) -> float:
+        return min(
+            (self._rates_from(h).get(dst, math.inf) for h in sorted(homes)),
+            default=math.inf,
+        )
+
+    def _screen_video(
+        self,
+        video_id: str,
+        old_homes: frozenset[str],
+        new_homes: frozenset[str],
+        requests,
+        cost_model: CostModel,
+    ):
+        """Per-video screen: projected savings must beat staging cost."""
+        video = self.catalog[video_id]
+        if not requests:
+            return VideoDecision(video_id, False, "no-demand")
+
+        saving = 0.0
+        for r in requests:
+            before = self._best_rate(old_homes, r.local_storage)
+            after = self._best_rate(new_homes, r.local_storage)
+            if math.isinf(before) or math.isinf(after):
+                continue  # the trial solve arbitrates reachability corner cases
+            saving += video.network_volume * (before - after)
+
+        cand = _Candidate(video_id)
+        for w in sorted(new_homes - old_homes):
+            src, rate = "", math.inf
+            for h in sorted(old_homes):
+                r = self._rates_from(h).get(w, math.inf)
+                if r < rate:
+                    src, rate = h, r
+            if math.isinf(rate):
+                return VideoDecision(video_id, False, "unreachable")
+            seconds = (
+                self.warehouse.staging_duration(video.size)
+                if self.warehouse is not None
+                else 0.0
+            )
+            cand.moves.append(
+                MigrationMove(
+                    video_id=video_id,
+                    action="add",
+                    warehouse=w,
+                    source=src,
+                    transfer_cost=video.size * rate,
+                    staging_seconds=seconds,
+                )
+            )
+            cand.staging_cost += video.size * rate
+            cand.staging_seconds += seconds
+        for w in sorted(old_homes - new_homes):
+            cand.moves.append(
+                MigrationMove(video_id=video_id, action="drop", warehouse=w)
+            )
+        cand.saving = saving
+        if not saving > cand.staging_cost:
+            return VideoDecision(
+                video_id, False, "no-improvement",
+                moves=tuple(cand.moves),
+                projected_saving=saving,
+                staging_cost=cand.staging_cost,
+            )
+        return cand
+
+    def _fit_drive_budget(
+        self, screened: list[_Candidate], rejected: list[VideoDecision]
+    ) -> list[_Candidate]:
+        """Admit moves best-first until the tape drives run out of window."""
+        if self.warehouse is None or self.config.staging_window is None:
+            return screened
+        budget = self.warehouse.tape_drives * self.config.staging_window
+        kept: list[_Candidate] = []
+        used = 0.0
+        ranked = sorted(
+            screened,
+            key=lambda c: (-(c.saving - c.staging_cost), c.video_id),
+        )
+        for c in ranked:
+            if used + c.staging_seconds <= budget:
+                kept.append(c)
+                used += c.staging_seconds
+            else:
+                rejected.append(
+                    VideoDecision(
+                        video_id=c.video_id,
+                        accepted=False,
+                        reason="drive-budget",
+                        moves=tuple(c.moves),
+                        projected_saving=c.saving,
+                        staging_cost=c.staging_cost,
+                    )
+                )
+        kept.sort(key=lambda c: c.video_id)
+        return kept
+
+    def _compose_map(
+        self,
+        incumbent: ReplicaMap,
+        candidate: ReplicaMap,
+        screened: list[_Candidate],
+    ) -> ReplicaMap:
+        moved = {c.video_id for c in screened}
+        homes = {
+            v.video_id: (
+                candidate.homes(v.video_id)
+                if v.video_id in moved
+                else incumbent.homes(v.video_id)
+            )
+            for v in self.catalog
+        }
+        pruned = ReplicaMap(homes)
+        pruned.validate(self.topology, self.catalog)
+        return pruned
+
+    def _trial(
+        self,
+        next_batch: RequestBatch,
+        cost_model: CostModel,
+        pruned: ReplicaMap,
+    ) -> tuple[float, float]:
+        """Full two-phase solve of the next batch under both maps.
+
+        Trial solves run against a **null** observability handle: they are
+        what-if evaluations, not service decisions, so they must not leak
+        events into the journal or counters into the registry.
+        """
+        psi = []
+        for cm in (cost_model, cost_model.with_replicas(pruned)):
+            scheduler = VideoScheduler(
+                self.topology,
+                self.catalog,
+                heat_metric=self.heat_metric,
+                cost_model=cm.worker_view(),
+                parallel=self.parallel,
+            )
+            psi.append(scheduler.solve(next_batch).total_cost)
+        return psi[0], psi[1]

@@ -22,6 +22,13 @@ kind               emitted when
 ``online-batch``   the online loop settles one debounced amendment batch
 ``shed``           :meth:`~repro.service.VORService.shed_pending` drops a
                    pending reservation
+``horizon-cycle``  the horizon orchestrator settles one cycle of a
+                   multi-cycle run
+``migration``      the between-cycle migration planner decides one video's
+                   replica move (accepted or rejected, with pricing)
+``resumed``        the carryover ledger classifies an interrupted stream as
+                   resumable (blocks survived; only the tail re-ships)
+``restarted``      ... or as restarted from byte zero (and why)
 =================  ==========================================================
 
 Determinism contract: the journal is **append-only** and records *no wall
@@ -65,6 +72,10 @@ EVENT_KINDS = (
     "amended",
     "online-batch",
     "shed",
+    "horizon-cycle",
+    "migration",
+    "resumed",
+    "restarted",
 )
 
 _EVENT_KIND_SET = frozenset(EVENT_KINDS)

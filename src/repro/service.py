@@ -282,6 +282,26 @@ class VORService:
             telemetry=self.obs.telemetry() if self.obs.enabled else None,
         )
 
+    def migrate_replicas(self, replicas) -> None:
+        """Adopt a migrated replica map for the coming cycles.
+
+        Validates the map, rebinds the cost model (shared caches, fresh
+        counters) and the rolling engine; carryover residencies and
+        pending reservations are untouched.  Call between cycles -- the
+        horizon orchestrator does, after its
+        :class:`~repro.horizon.migration.MigrationPlanner` accepts a
+        delta.
+        """
+        replicas.validate(self.topology, self.catalog)
+        self.cost_model = self.cost_model.with_replicas(replicas)
+        self._rolling.rebind(self.cost_model)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vor_replica_migrations_total",
+                help="Replica maps adopted by a running service",
+            ).inc()
+
     def shed_pending(self, count: int) -> list[Request]:
         """Drop the ``count`` lowest-priority pending reservations.
 

@@ -1,0 +1,95 @@
+"""Shared fixtures: the rush-hour-brownout drill environment.
+
+The canonical horizon drill (also committed as
+``benchmarks/scenarios/rush_hour_brownout.jsonl`` and replayed by the CI
+``horizon-drill`` job): neighborhood caches shrunk to 3 GB so a demand
+spike cannot be absorbed locally (the regime where staged replicas pay
+for themselves), a second warehouse grafted behind IS15 at a cheaper
+rate, and a link outage + IS brownout whose windows straddle the first
+cycle boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultEvent, FaultFeed, ReplicaMap, paper_catalog, units
+from repro.faults.plan import FaultKind, FaultSpec
+from repro.horizon import generate_drifting_cycles
+from repro.topology import paper_topology
+
+L = units.DAY
+
+
+def brownout_topology():
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(3),
+    )
+    topo.add_warehouse("VW2")
+    topo.add_edge("IS15", "VW2", nrate=units.per_gb(100))
+    return topo
+
+
+def brownout_feed() -> FaultFeed:
+    return FaultFeed(
+        events=(
+            FaultEvent(
+                at=0.85 * L,
+                fault=FaultSpec(
+                    kind=FaultKind.LINK_DOWN,
+                    target=("VW", "IS3"),
+                    t_start=0.9 * L,
+                    t_end=1.15 * L,
+                ),
+            ),
+            FaultEvent(
+                at=0.88 * L,
+                fault=FaultSpec(
+                    kind=FaultKind.CAPACITY_SHRINK,
+                    target="IS3",
+                    t_start=0.9 * L,
+                    t_end=1.15 * L,
+                    severity=0.5,
+                ),
+            ),
+        ),
+        name="rush-hour-brownout",
+        seed=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def drill_topology():
+    return brownout_topology()
+
+
+@pytest.fixture(scope="session")
+def drill_catalog():
+    return paper_catalog(60, seed=4)
+
+
+@pytest.fixture(scope="session")
+def drill_cycles(drill_topology, drill_catalog):
+    return generate_drifting_cycles(
+        drill_topology,
+        drill_catalog,
+        cycles=3,
+        cycle_length=L,
+        seed=4,
+        churn=0.5,
+        users_per_neighborhood=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def drill_replicas(drill_topology, drill_catalog, drill_cycles):
+    return ReplicaMap.heat_placement(
+        drill_topology, drill_catalog, drill_cycles[0][0], degree=1, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def drill_feed():
+    return brownout_feed()

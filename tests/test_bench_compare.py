@@ -104,6 +104,25 @@ class TestCompareReports:
         current["online"]["amendment_seconds_mean"] *= 100
         assert bench.compare_reports(baseline, current) == []
 
+    def test_horizon_outcome_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["horizon"]["psi_total_dollars"] += 0.01
+        current["horizon"]["migrations_accepted"] += 1
+        problems = bench.compare_reports(baseline, current)
+        assert any("horizon.psi_total_dollars" in p for p in problems)
+        assert any("horizon.migrations_accepted" in p for p in problems)
+
+    def test_horizon_trajectory_drift_fails(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["horizon"]["psi_trajectory"][0] += 1.0
+        problems = bench.compare_reports(baseline, current)
+        assert any("horizon.psi_trajectory" in p for p in problems)
+
+    def test_horizon_timing_does_not_gate(self, bench, baseline):
+        current = json.loads(json.dumps(baseline))
+        current["horizon"]["wall_time_seconds"] *= 100
+        assert bench.compare_reports(baseline, current) == []
+
 
 class TestCommittedBaseline:
     def test_baseline_has_the_gating_keys(self, bench, baseline):
@@ -133,4 +152,18 @@ class TestCommittedBaseline:
         assert (
             baseline["online"]["requests_lost_windowed"]
             < baseline["online"]["requests_lost_cycle"]
+        )
+
+    def test_baseline_has_the_horizon_keys(self, bench, baseline):
+        for key in bench._DETERMINISTIC_HORIZON_KEYS:
+            assert key in baseline["horizon"]
+        assert "wall_time_seconds" in baseline["horizon"]
+        # the committed drill must accept a migration, pay real staging,
+        # resume an interrupted stream, and beat the frozen-map horizon
+        assert baseline["horizon"]["migrations_accepted"] >= 1
+        assert baseline["horizon"]["staging_dollars"] > 0
+        assert baseline["horizon"]["resumed"] >= 1
+        assert (
+            baseline["horizon"]["psi_total_dollars"]
+            <= baseline["horizon"]["psi_frozen_dollars"]
         )

@@ -387,3 +387,93 @@ class TestCli:
         ):
             assert expected in written
         assert "259.200" in (out_dir / "worked_example.txt").read_text()
+
+
+def _horizon_env(tmp_path, *, n_videos=20, seed=2):
+    """A batch-less two-warehouse environment for 'run-horizon'."""
+    from repro import paper_catalog, paper_topology, units
+    from repro.io import save_environment
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(3),
+    )
+    topo.add_warehouse("VW2")
+    topo.add_edge("IS15", "VW2", nrate=units.per_gb(100))
+    catalog = paper_catalog(n_videos, seed=seed)
+    path = tmp_path / "env-horizon.json"
+    save_environment(path, topology=topo, catalog=catalog)
+    return path
+
+
+class TestRunHorizon:
+    def test_writes_report_with_deterministic_slice(self, capsys, tmp_path):
+        path = _horizon_env(tmp_path)
+        report_out = tmp_path / "horizon.json"
+        assert main([
+            "run-horizon", str(path),
+            "--cycles", "2", "--users", "2", "--seed", "2",
+            "--horizon-report-out", str(report_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "horizon" in out
+        doc = json.loads(report_out.read_text())
+        det = doc["deterministic"]
+        assert det["feasible"] is True
+        assert len(det["cycles"]) == 2
+        assert det["total_psi"] > 0
+        assert doc["migration"] is True
+        assert doc["cycles_requested"] == 2
+
+    def test_no_migrate_freezes_the_replica_map(self, capsys, tmp_path):
+        path = _horizon_env(tmp_path)
+        report_out = tmp_path / "frozen.json"
+        assert main([
+            "run-horizon", str(path),
+            "--cycles", "2", "--users", "2", "--seed", "2",
+            "--no-migrate",
+            "--horizon-report-out", str(report_out),
+        ]) == 0
+        doc = json.loads(report_out.read_text())
+        assert doc["migration"] is False
+        assert doc["deterministic"]["migrations_accepted"] == 0
+        assert doc["deterministic"]["staging_cost"] == 0
+
+    def test_replay_is_byte_identical(self, capsys, tmp_path):
+        path = _horizon_env(tmp_path)
+        outs = []
+        for i in (1, 2):
+            report_out = tmp_path / f"horizon-{i}.json"
+            journal_out = tmp_path / f"journal-{i}.jsonl"
+            assert main([
+                "run-horizon", str(path),
+                "--cycles", "2", "--users", "2", "--seed", "2",
+                "--horizon-report-out", str(report_out),
+                "--journal-out", str(journal_out),
+            ]) == 0
+            outs.append(
+                (report_out.read_bytes(), journal_out.read_bytes())
+            )
+        capsys.readouterr()
+        assert outs[0] == outs[1]
+
+    def test_report_dashboard_renders_horizon_section(
+        self, capsys, tmp_path
+    ):
+        path = _horizon_env(tmp_path)
+        report_out = tmp_path / "horizon.json"
+        assert main([
+            "run-horizon", str(path),
+            "--cycles", "2", "--users", "2", "--seed", "2",
+            "--horizon-report-out", str(report_out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", "--horizon-report", str(report_out)]) == 0
+        out = capsys.readouterr().out
+        assert "horizon cycles" in out
+        assert "total psi" in out
+
+    def test_requires_environment_path(self):
+        with pytest.raises(SystemExit, match="environment"):
+            main(["run-horizon"])

@@ -28,13 +28,41 @@ class TestCatalogDrift:
         assert not stale, f"cataloged but never emitted: {stale}"
 
     def test_drift_reports_both_directions(self):
-        problems = catalog.drift({"vor_a_total"}, {"vor_b_total"})
+        problems = catalog.drift(
+            {"vor_a_total"}, {"vor_b_total"}, "metric families"
+        )
         assert len(problems) == 2
         assert "vor_a_total" in problems[0] and "missing" in problems[0]
-        assert "vor_b_total" in problems[1] and "never emitted" in problems[1]
+        assert "vor_b_total" in problems[1] and "documented" in problems[1]
 
     def test_main_exits_zero_on_current_tree(self):
         assert catalog.main() == 0
+
+
+class TestEventKindDrift:
+    def test_every_source_kind_is_documented(self):
+        src = catalog.source_event_kinds()
+        doc = catalog.documented_event_kinds()
+        missing = sorted(src - doc)
+        assert not missing, f"undocumented journal event kinds: {missing}"
+
+    def test_every_documented_kind_exists_in_source(self):
+        src = catalog.source_event_kinds()
+        doc = catalog.documented_event_kinds()
+        stale = sorted(doc - src)
+        assert not stale, f"documented but never emitted: {stale}"
+
+    def test_source_scan_finds_horizon_kinds(self):
+        kinds = catalog.source_event_kinds()
+        for kind in ("horizon-cycle", "migration", "resumed", "restarted"):
+            assert kind in kinds
+
+    def test_documented_kinds_scoped_to_taxonomy_section(self):
+        # names that only appear outside "### Event taxonomy" (prose,
+        # metric tables) must not count as documented kinds
+        doc = catalog.documented_event_kinds()
+        assert "vor_deliveries_total" not in doc
+        assert "admitted" in doc
 
 
 class TestNameExtraction:

@@ -3,12 +3,16 @@
 
 Every ``vor_*`` family name that appears as a string literal under
 ``src/repro/`` must have a backticked entry in the catalog table of
-``docs/OBSERVABILITY.md``, and vice versa.  CI runs this in the lint
-job, so adding a metric without documenting it (or documenting a
-family that no longer exists) fails the build.
+``docs/OBSERVABILITY.md``, and vice versa.  The journal's event
+taxonomy is held to the same standard: every kind in
+``repro.obs.events.EVENT_KINDS`` must have a backticked row in the
+"Event taxonomy" section, and that section must not document kinds the
+journal would reject.  CI runs this in the lint job, so adding a metric
+or event kind without documenting it (or documenting one that no longer
+exists) fails the build.
 
-Exit status: 0 when the two sets match, 1 on drift (one line per
-offending family on stderr).
+Exit status: 0 when the sets match, 1 on drift (one line per offending
+name on stderr).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src" / "repro"
 DOC = ROOT / "docs" / "OBSERVABILITY.md"
+EVENTS = SRC / "obs" / "events.py"
 
 #: A family name is only counted where the code can actually register it:
 #: a double-quoted string literal.  Docstring prose (``vor_x{label=...}``)
@@ -28,6 +33,11 @@ _SRC_RE = re.compile(r'"(vor_[a-z0-9_]+)"')
 #: Documented names must be backticked whole: `vor_recovery_*` globs and
 #: the bare `vor_` prefix mention are not catalog entries.
 _DOC_RE = re.compile(r"`(vor_[a-z0-9_]+)`")
+#: The EVENT_KINDS tuple literal in obs/events.py.
+_KINDS_RE = re.compile(r"^EVENT_KINDS\s*=\s*\((.*?)\)", re.DOTALL | re.MULTILINE)
+_KIND_RE = re.compile(r'"([a-z0-9-]+)"')
+#: Backticked names in a taxonomy row; `saved` / `lost` share a row.
+_DOC_KIND_RE = re.compile(r"`([a-z0-9-]+)`")
 
 
 def source_metrics(src: Path = SRC) -> set[str]:
@@ -41,13 +51,43 @@ def documented_metrics(doc: Path = DOC) -> set[str]:
     return set(_DOC_RE.findall(doc.read_text()))
 
 
-def drift(src_names: set[str], doc_names: set[str]) -> list[str]:
+def source_event_kinds(events: Path = EVENTS) -> set[str]:
+    match = _KINDS_RE.search(events.read_text())
+    if match is None:
+        raise SystemExit(f"cannot find EVENT_KINDS in {events}")
+    return set(_KIND_RE.findall(match.group(1)))
+
+
+def documented_event_kinds(doc: Path = DOC) -> set[str]:
+    """Backticked kinds in the first column of the taxonomy table rows.
+
+    Scoped to the "### Event taxonomy" section (up to the next heading)
+    so prose backticks elsewhere in the document are not mistaken for
+    taxonomy entries, and restricted to each row's first cell so attr
+    names like `reason` do not count.
+    """
+    text = doc.read_text()
+    match = re.search(
+        r"^### Event taxonomy$(.*?)(?=^#)", text, re.DOTALL | re.MULTILINE
+    )
+    if match is None:
+        raise SystemExit(f"cannot find an '### Event taxonomy' section in {doc}")
+    kinds: set[str] = set()
+    for line in match.group(1).splitlines():
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        kinds.update(_DOC_KIND_RE.findall(first_cell))
+    return kinds
+
+
+def drift(src_names: set[str], doc_names: set[str], what: str) -> list[str]:
     problems = [
-        f"{name}: emitted in src/repro but missing from {DOC.name}"
+        f"{name}: {what} in src/repro but missing from {DOC.name}"
         for name in sorted(src_names - doc_names)
     ]
     problems += [
-        f"{name}: documented in {DOC.name} but never emitted in src/repro"
+        f"{name}: documented in {DOC.name} but not {what} in src/repro"
         for name in sorted(doc_names - src_names)
     ]
     return problems
@@ -56,14 +96,18 @@ def drift(src_names: set[str], doc_names: set[str]) -> list[str]:
 def main() -> int:
     src_names = source_metrics()
     doc_names = documented_metrics()
-    problems = drift(src_names, doc_names)
+    problems = drift(src_names, doc_names, "emitted")
+    src_kinds = source_event_kinds()
+    doc_kinds = documented_event_kinds()
+    problems += drift(src_kinds, doc_kinds, "a journal event kind")
     if problems:
         print("metric catalog drift:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
     print(
-        f"metric catalog OK: {len(src_names)} families documented in {DOC.name}"
+        f"metric catalog OK: {len(src_names)} families and "
+        f"{len(src_kinds)} journal event kinds documented in {DOC.name}"
     )
     return 0
 
