@@ -44,6 +44,12 @@ two-warehouse topology, gating the migration decisions, the per-cycle
 Ψ trajectory, the resume/restart split, and the migrating-vs-frozen
 horizon-total Ψ comparison -- migration must never cost more than the
 frozen replica map, staging included.
+
+The admission-gateway drill replays the committed
+``benchmarks/scenarios/flash_crowd.jsonl`` booking spike through the
+:class:`~repro.gateway.ReservationGateway` under a tight backpressure
+envelope (batch 60, queue 8), gating the admitted/rejected/shed split,
+the admission ratio, and the quote-vs-realized Ψ error.
 """
 
 import argparse
@@ -182,6 +188,20 @@ _DETERMINISTIC_HORIZON_KEYS = (
     "psi_total_dollars",
     "psi_frozen_dollars",
 )
+#: Gateway-drill keys that must match bit-for-bit: the intake trajectory
+#: is a pure function of the committed feed and the backpressure envelope.
+_DETERMINISTIC_GATEWAY_KEYS = (
+    "bookings_offered",
+    "bookings_admitted",
+    "bookings_rejected",
+    "bookings_shed",
+    "cycles_sealed",
+    "admission_ratio",
+    "shed_rate",
+    "quote_error",
+    "quote_total_dollars",
+    "realized_total_dollars",
+)
 
 
 def compare_reports(baseline: dict, current: dict) -> list[str]:
@@ -243,6 +263,13 @@ def compare_reports(baseline: dict, current: dict) -> list[str]:
             problems.append(
                 f"horizon.{key} regressed: baseline {b_hor.get(key)!r} vs "
                 f"{c_hor.get(key)!r}"
+            )
+    b_gw, c_gw = baseline.get("gateway", {}), current.get("gateway", {})
+    for key in _DETERMINISTIC_GATEWAY_KEYS:
+        if b_gw.get(key) != c_gw.get(key):
+            problems.append(
+                f"gateway.{key} regressed: baseline {b_gw.get(key)!r} vs "
+                f"{c_gw.get(key)!r}"
             )
     return problems
 
@@ -465,6 +492,64 @@ def _horizon_drill(n_videos: int, users: int):
     }
 
 
+def _gateway_drill():
+    """Admission-gateway drill on the committed flash-crowd spike.
+
+    Replays ``scenarios/flash_crowd.jsonl`` (a slotted booking spike on
+    the 60-video paper environment -- the feed embeds its video ids, so
+    the drill always builds that environment regardless of ``--videos``)
+    through the gateway with a batch of 60 and a queue of 8: the spike
+    must overflow into shedding.  Everything but the wall time is
+    deterministic.
+    """
+    from pathlib import Path
+
+    from repro import (
+        GatewayConfig,
+        RequestFeed,
+        ReservationGateway,
+        VORService,
+    )
+
+    topo = paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+    catalog = paper_catalog(n_videos=60, seed=4)
+    feed = RequestFeed.load(
+        Path(__file__).parent / "scenarios" / "flash_crowd.jsonl"
+    )
+    gateway = ReservationGateway(
+        VORService(topo, catalog),
+        config=GatewayConfig(max_batch=60, queue_depth=8),
+    )
+    t0 = time.perf_counter()
+    run = gateway.run(
+        feed, boundaries=[max(feed.span[1], feed.showing_span[1])]
+    )
+    wall = time.perf_counter() - t0
+    assert run.shed > 0, "flash crowd did not trigger shedding!"
+    assert run.feasible, "gateway drill sealed an infeasible cycle!"
+    return {
+        "bookings_offered": run.offered,
+        "bookings_admitted": run.admitted,
+        "bookings_rejected": dict(run.rejected),
+        "bookings_shed": run.shed,
+        "cycles_sealed": len(run.cycles),
+        "admission_ratio": round(run.admission_ratio, 6),
+        "shed_rate": round(run.shed_rate, 6),
+        "quote_error": round(run.quote_error, 6),
+        "quote_total_dollars": round(
+            sum(c.quote_total for c in run.cycles), 6
+        ),
+        "realized_total_dollars": round(
+            sum(c.realized_total for c in run.cycles), 6
+        ),
+        "wall_time_seconds": wall,
+    }
+
+
 def _time_phase1(topo, catalog, batch, config, repeats):
     """Best-of-N wall time of one Phase-1 run plus its result."""
     best = float("inf")
@@ -594,6 +679,15 @@ def main(argv=None) -> int:
         f"psi ${horizon['psi_total_dollars']:,.2f} migrating vs "
         f"${horizon['psi_frozen_dollars']:,.2f} frozen"
     )
+    gateway = _gateway_drill()
+    print(
+        f"gateway drill: {gateway['bookings_offered']} booking(s) -> "
+        f"{gateway['bookings_admitted']} admitted / "
+        f"{sum(gateway['bookings_rejected'].values())} rejected / "
+        f"{gateway['bookings_shed']} shed in "
+        f"{gateway['wall_time_seconds']:.3f}s "
+        f"(quote error {100 * gateway['quote_error']:.1f}%)"
+    )
     if args.json_out or args.compare:
         report = {
             "benchmark": "phase1_speedup",
@@ -633,6 +727,7 @@ def main(argv=None) -> int:
             "recovery": recovery,
             "online": online,
             "horizon": horizon,
+            "gateway": gateway,
         }
         if args.json_out:
             with open(args.json_out, "w") as fh:

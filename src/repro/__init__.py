@@ -59,6 +59,15 @@ from repro.faults import (
     build_degraded_report,
     masked_topology,
 )
+from repro.gateway import (
+    AdmissionPolicy,
+    GatewayConfig,
+    GatewayRunReport,
+    RequestEvent,
+    RequestFeed,
+    ReservationGateway,
+    build_policy,
+)
 from repro.online import (
     CircuitBreaker,
     OnlineAmendmentLoop,
@@ -154,6 +163,13 @@ __all__ = [
     "RecoveryResult",
     "build_degraded_report",
     "masked_topology",
+    "AdmissionPolicy",
+    "GatewayConfig",
+    "GatewayRunReport",
+    "RequestEvent",
+    "RequestFeed",
+    "ReservationGateway",
+    "build_policy",
     "CircuitBreaker",
     "OnlineAmendmentLoop",
     "OnlineLoopConfig",

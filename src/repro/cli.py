@@ -15,6 +15,7 @@ Usage::
     vor-repro run-faults ENV.json --scenario f.json   # fault drill + recovery
     vor-repro run-online ENV.json --feed f.jsonl      # online amendment loop
     vor-repro run-horizon ENV.json --cycles 3         # multi-cycle horizon
+    vor-repro run-gateway ENV.json --request-feed r.jsonl  # admission gateway
 
 ``--quick`` swaps the Table 4 configuration for the scaled-down variant
 (same shapes, ~20x faster).  Every command prints the reproduced table and
@@ -54,6 +55,19 @@ boundaries so a fault window straddling two cycles is amended into both.
 ``--horizon-report-out`` writes the replay-invariant horizon report
 (byte-identical across backends and reruns); the process exits non-zero
 when any cycle ends infeasible.
+
+``run-gateway`` replays a booking feed (``--request-feed`` JSONL, or
+seeded generation via ``--seed``/``--request-feed-out``) through the
+:class:`~repro.gateway.ReservationGateway`: every arriving reservation
+is pre-screened, quoted an incremental price (cheapest-copy Ψ_D vs.
+residency-extension Ψ_C), and run through the ``--policy`` admission
+chain (``accept-all``, ``headroom[:F]``, ``price-ceiling:X``,
+``rate-limit:RATE:BURST``, comma-chained).  ``--max-batch`` and
+``--queue-depth`` bound the solver-bound batch and the carryover queue;
+overload sheds the lowest-priority bookings.  ``--seals`` splits the
+feed into that many sealed cycles; ``--gateway-report-out`` writes the
+replay-invariant gateway report (byte-identical across backends and
+reruns).  The process exits non-zero when a sealed cycle is infeasible.
 
 Observability: ``run-env --metrics-out metrics.json --trace-out trace.jsonl``
 schedules an environment with a live :class:`repro.obs.Observability` handle
@@ -138,21 +152,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "run-faults",
             "run-online",
             "run-horizon",
+            "run-gateway",
             "slo-check",
         ],
         help="which paper artifact to reproduce ('report' writes all of "
         "them to --out, or renders a terminal dashboard with --telemetry; "
-        "'run-env'/'simulate'/'run-faults'/'run-online'/'run-horizon' "
-        "schedule an environment JSON; 'slo-check' gates an online report "
-        "JSON)",
+        "'run-env'/'simulate'/'run-faults'/'run-online'/'run-horizon'/"
+        "'run-gateway' schedule an environment JSON; 'slo-check' gates an "
+        "online report JSON)",
     )
     parser.add_argument(
         "env_file",
         nargs="?",
         default=None,
         help="environment JSON for the 'run-env'/'simulate'/'run-faults'/"
-        "'run-online'/'run-horizon' commands, or the online report JSON "
-        "for 'slo-check'",
+        "'run-online'/'run-horizon'/'run-gateway' commands, or the online "
+        "report JSON for 'slo-check'",
     )
     parser.add_argument(
         "--quick",
@@ -457,6 +472,65 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="for 'report': include a --horizon-report-out JSON in the "
         "dashboard (per-cycle Ψ trajectory, migrations, resumes)",
+    )
+    parser.add_argument(
+        "--request-feed",
+        default=None,
+        metavar="PATH",
+        help="booking-feed JSONL for 'run-gateway' (omit to generate a "
+        "seeded feed from --seed)",
+    )
+    parser.add_argument(
+        "--request-feed-out",
+        default=None,
+        metavar="PATH",
+        help="write the (possibly generated) booking feed as JSONL",
+    )
+    parser.add_argument(
+        "--policy",
+        default="accept-all",
+        metavar="SPEC",
+        help="admission policy chain for 'run-gateway': comma-chained "
+        "'accept-all', 'headroom[:FRACTION]', 'price-ceiling:DOLLARS', "
+        "'rate-limit:RATE:BURST' (default accept-all)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="solver-bound batch depth per gateway cycle; 0 = unbounded "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bounded pending queue behind a full gateway batch; 0 "
+        "disables queueing, overflow sheds (default 0)",
+    )
+    parser.add_argument(
+        "--seals",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sealed cycles for 'run-gateway': the booking span is split "
+        "into N cycles, the last boundary covers every showing (default 1)",
+    )
+    parser.add_argument(
+        "--gateway-report-out",
+        default=None,
+        metavar="PATH",
+        help="write the gateway run report as JSON for 'run-gateway' "
+        "(replay-invariant: identical runs produce byte-identical files)",
+    )
+    parser.add_argument(
+        "--gateway-report",
+        default=None,
+        metavar="PATH",
+        help="for 'report': include a --gateway-report-out JSON in the "
+        "dashboard (per-cycle intake counters, quote reconciliation)",
     )
     return parser
 
@@ -1209,6 +1283,173 @@ def _run_horizon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_gateway(args: argparse.Namespace) -> int:
+    """Admission drill: replay a booking feed through the gateway.
+
+    Loads the environment's topology and catalog (any ``requests``
+    section is ignored -- the bookings come from the feed), builds the
+    ``--policy`` admission chain and the backpressure envelope, and seals
+    ``--seals`` cycles into a :class:`~repro.service.VORService`.  Exits
+    non-zero when a sealed cycle is infeasible.  Malformed feeds and
+    policy specs exit non-zero with a one-line diagnostic.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis import format_table
+    from repro.core.parallel import ParallelConfig
+    from repro.errors import GatewayError, ReproError, ScheduleError
+    from repro.gateway import (
+        GatewayConfig,
+        RequestFeed,
+        ReservationGateway,
+        build_policy,
+    )
+    from repro.io import load_environment
+    from repro.obs import NULL_OBS, Observability
+    from repro.service import VORService
+
+    if not args.env_file:
+        raise SystemExit("run-gateway requires an environment JSON path")
+    topology, catalog, _ = load_environment(args.env_file)
+    try:
+        parallel = ParallelConfig(
+            backend=args.phase1_backend, workers=args.phase1_workers
+        )
+    except ScheduleError as exc:
+        raise SystemExit(f"invalid phase-1 options: {exc}") from exc
+
+    if args.request_feed:
+        try:
+            feed = RequestFeed.load(args.request_feed)
+        except GatewayError as exc:
+            raise SystemExit(f"invalid --request-feed: {exc}") from exc
+        _log.info(
+            "loaded %d booking(s) from %s", len(feed), args.request_feed
+        )
+    else:
+        feed = RequestFeed.generate(
+            topology,
+            catalog,
+            seed=args.seed,
+            users_per_neighborhood=args.users,
+        )
+        _log.info(
+            "generated %d booking(s) from seed %d", len(feed), args.seed
+        )
+    if not feed:
+        raise SystemExit("request feed is empty: nothing to gate")
+    if args.request_feed_out:
+        feed.save(args.request_feed_out)
+        _log.info("wrote request feed to %s", args.request_feed_out)
+
+    replicas = _parse_replicas(
+        args.replicas, topology, catalog, feed.batch(), seed=args.seed
+    )
+    want_journal = bool(args.journal_out or args.explain)
+    want_telemetry = bool(args.metrics_out or args.trace_out or want_journal)
+    obs = (
+        Observability.on(journal=want_journal) if want_telemetry else NULL_OBS
+    )
+
+    try:
+        policy = build_policy(args.policy, topology=topology, catalog=catalog)
+        config = GatewayConfig(
+            max_batch=args.max_batch, queue_depth=args.queue_depth
+        )
+    except GatewayError as exc:
+        raise SystemExit(f"invalid gateway options: {exc}") from exc
+    if args.seals < 1:
+        raise SystemExit(f"--seals must be >= 1, got {args.seals}")
+
+    service = VORService(
+        topology, catalog, parallel=parallel, obs=obs, replicas=replicas
+    )
+    gateway = ReservationGateway(service, policy=policy, config=config)
+
+    # Intermediate boundaries split the booking span; the last one covers
+    # every showing so the final seal leaves nothing due.
+    a0, a1 = feed.span
+    last = max(a1, feed.showing_span[1])
+    boundaries = [
+        a0 + (i + 1) / args.seals * (a1 - a0) for i in range(args.seals - 1)
+    ]
+    boundaries.append(last)
+
+    try:
+        run = gateway.run(feed, boundaries)
+    except ReproError as exc:
+        raise SystemExit(f"gateway run failed: {exc}") from exc
+
+    rows = [
+        [
+            c.index,
+            c.offered,
+            c.admitted,
+            c.promoted,
+            c.rejected_total,
+            c.queued,
+            c.shed,
+            c.quote_total,
+            c.realized_total,
+            "yes" if c.feasible else "NO",
+        ]
+        for c in run.cycles
+    ]
+    print(
+        format_table(
+            [
+                "cycle", "offered", "admitted", "promoted", "rejected",
+                "queued", "shed", "quoted ($)", "realized ($)", "feasible",
+            ],
+            rows,
+            title=f"gateway for {args.env_file} "
+            f"[{feed.name or 'feed'}, policy {args.policy}]",
+        )
+    )
+    print(run.summary())
+
+    from repro.obs.slo import SLOError, SLOPolicy, gateway_indicators
+
+    try:
+        slo_policy = (
+            SLOPolicy.load(args.slo) if args.slo
+            else SLOPolicy.gateway_default()
+        )
+    except SLOError as exc:
+        raise SystemExit(f"invalid --slo: {exc}") from exc
+    indicators = gateway_indicators(run)
+    slo_report = slo_policy.evaluate(indicators)
+    slo_report.record(obs.metrics)
+    print(slo_report.format_report())
+    _write_telemetry(args, obs)
+
+    if args.gateway_report_out:
+        doc = {
+            "environment": str(args.env_file),
+            "seed": feed.seed,
+            "policy": args.policy,
+            "max_batch": args.max_batch,
+            "queue_depth": args.queue_depth,
+            "seals": args.seals,
+            "slo": {
+                "indicators": indicators,
+                "policy": slo_policy.to_dict(),
+                "evaluation": slo_report.to_dict(),
+            },
+            **run.to_json_dict(),
+        }
+        pathlib.Path(args.gateway_report_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        _log.info("wrote gateway report to %s", args.gateway_report_out)
+    if not run.feasible:
+        print("gateway run ended with an infeasible cycle")
+        return 1
+    print("gateway run feasible: every sealed cycle valid")
+    return 0
+
+
 def _slo_check(args: argparse.Namespace) -> int:
     """Gate an online report JSON against an SLO policy (non-zero on breach).
 
@@ -1263,7 +1504,12 @@ def _report_dashboard(args: argparse.Namespace) -> int:
 
     from repro.analysis import ascii_chart, format_table
     from repro.analysis.series import Series
-    from repro.obs import SpanRecord, format_critical_paths, load_journal_jsonl
+    from repro.obs import (
+        JournalError,
+        SpanRecord,
+        format_critical_paths,
+        load_journal_jsonl,
+    )
 
     doc = {}
     if args.telemetry:
@@ -1411,8 +1657,71 @@ def _report_dashboard(args: argparse.Namespace) -> int:
                 )
             )
 
+    if args.gateway_report:
+        try:
+            gdoc = json.loads(pathlib.Path(args.gateway_report).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"cannot read --gateway-report {args.gateway_report}: {exc}"
+            ) from exc
+        det = gdoc.get("deterministic") or {}
+        gcycles = det.get("cycles") or []
+        if gcycles:
+            print()
+            print(
+                format_table(
+                    [
+                        "cycle", "offered", "admitted", "rejected",
+                        "queued", "shed", "quote error", "feasible",
+                    ],
+                    [
+                        [
+                            c.get("index"),
+                            c.get("offered"),
+                            c.get("admitted"),
+                            sum((c.get("rejected") or {}).values()),
+                            c.get("queued"),
+                            c.get("shed"),
+                            c.get("quote_error"),
+                            "yes" if c.get("feasible") else "NO",
+                        ]
+                        for c in gcycles
+                    ],
+                    title=f"gateway cycles [{args.gateway_report}]",
+                )
+            )
+        rejected = det.get("rejected") or {}
+        print()
+        print(
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["cycles sealed", len(gcycles)],
+                    ["bookings offered", det.get("offered")],
+                    ["bookings admitted", det.get("admitted")],
+                    ["bookings shed", det.get("shed")],
+                    ["admission ratio", det.get("admission_ratio")],
+                    ["shed rate", det.get("shed_rate")],
+                    ["worst quote error", det.get("quote_error")],
+                    ["unconsumed bookings", det.get("unconsumed")],
+                    *[
+                        [f"rejected[{reason}]", n]
+                        for reason, n in sorted(rejected.items())
+                    ],
+                ],
+                title="gateway summary",
+            )
+        )
+
     if args.journal:
-        journal = load_journal_jsonl(args.journal)
+        try:
+            journal = load_journal_jsonl(args.journal)
+        except JournalError as exc:
+            raise SystemExit(f"cannot load --journal: {exc}") from exc
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read --journal {args.journal}: {exc}"
+            ) from exc
         print()
         print(
             format_table(
@@ -1499,7 +1808,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             _run_one(name, args)
             print()
     elif args.experiment == "report":
-        if args.telemetry or args.horizon_report:
+        if args.telemetry or args.horizon_report or args.gateway_report or args.journal:
             return _report_dashboard(args)
         _write_report(args)
     elif args.experiment == "run-env":
@@ -1512,6 +1821,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_online(args)
     elif args.experiment == "run-horizon":
         return _run_horizon(args)
+    elif args.experiment == "run-gateway":
+        return _run_gateway(args)
     elif args.experiment == "slo-check":
         return _slo_check(args)
     else:

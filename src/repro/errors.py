@@ -57,3 +57,7 @@ class FaultError(ReproError):
 
 class ReplicationError(ReproError):
     """Malformed replica map: unknown video, non-warehouse home, no coverage."""
+
+
+class GatewayError(ReproError):
+    """Malformed request feed, admission-policy spec, or gateway state."""

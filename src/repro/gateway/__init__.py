@@ -1,0 +1,55 @@
+"""Reservation admission gateway: live intake in front of the service.
+
+The paper assumes each cycle's reservation batch simply exists; this
+package is the front door that produces it.  A
+:class:`~repro.gateway.feed.RequestFeed` carries bookings arriving on a
+virtual clock, a :class:`~repro.gateway.quote.QuoteEngine` prices each
+one incrementally against the partially-built cycle, pluggable
+:mod:`~repro.gateway.policies` admit or reject, and
+:class:`~repro.gateway.gateway.ReservationGateway` applies backpressure
+(bounded batch, bounded queue, priority-aware shedding) before sealing
+the cycle into :class:`~repro.service.VORService`.
+"""
+
+from repro.gateway.feed import RequestEvent, RequestFeed
+from repro.gateway.gateway import (
+    GATE_REASONS,
+    GatewayConfig,
+    GatewayCycleReport,
+    GatewayRunReport,
+    Reconciliation,
+    ReservationGateway,
+)
+from repro.gateway.policies import (
+    POLICY_REASONS,
+    AcceptAllPolicy,
+    AdmissionPolicy,
+    HeadroomPolicy,
+    PolicyChain,
+    PriceCeilingPolicy,
+    TokenBucketPolicy,
+    build_policy,
+)
+from repro.gateway.quote import QUOTE_BASES, Quote, QuoteEngine
+
+__all__ = [
+    "GATE_REASONS",
+    "POLICY_REASONS",
+    "QUOTE_BASES",
+    "AcceptAllPolicy",
+    "AdmissionPolicy",
+    "GatewayConfig",
+    "GatewayCycleReport",
+    "GatewayRunReport",
+    "HeadroomPolicy",
+    "PolicyChain",
+    "PriceCeilingPolicy",
+    "Quote",
+    "QuoteEngine",
+    "Reconciliation",
+    "RequestEvent",
+    "RequestFeed",
+    "ReservationGateway",
+    "TokenBucketPolicy",
+    "build_policy",
+]

@@ -1,0 +1,277 @@
+"""Live reservation intake: booking requests arriving over (virtual) time.
+
+A :class:`RequestFeed` is an ordered stream of :class:`RequestEvent`
+records -- each a :class:`~repro.workload.requests.Request` plus the
+virtual instant ``at`` at which the user *booked* it.  Where a
+:class:`~repro.workload.requests.RequestBatch` is the frozen cycle
+workload the solver consumes, a feed is how that workload comes into
+being: booking by booking, each some lead time before its showing.  The
+reservation gateway (:mod:`repro.gateway.gateway`) consumes feeds and
+quotes/admits/queues/sheds requests as they arrive.
+
+Feeds are plain data and fully deterministic, mirroring
+:class:`~repro.faults.feed.FaultFeed`:
+
+* a **JSONL file feed** (:meth:`RequestFeed.load` / :meth:`RequestFeed.save`)
+  replays a committed scenario bit-identically -- one header line, one event
+  per subsequent line, so malformed input is diagnosable as ``path:lineno``;
+* a **seeded generator feed** (:meth:`RequestFeed.generate`) draws the
+  requests through :class:`~repro.workload.generators.WorkloadGenerator`
+  (neighborhoods x users x Zipf x an arrival process) and derives each
+  booking's arrival instant from the same seed, so equal arguments always
+  yield an equal feed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import random
+from dataclasses import dataclass
+
+from repro.catalog.catalog import VideoCatalog
+from repro.errors import GatewayError
+from repro.topology.graph import Topology
+from repro.workload.arrival import ArrivalProcess
+from repro.workload.generators import WorkloadGenerator
+from repro.workload.requests import Request, RequestBatch
+
+_FEED_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One booking: the request plus its virtual arrival instant.
+
+    Attributes:
+        at: When the user booked the reservation (virtual seconds, the
+            same clock as the request start times and cycle boundaries).
+        request: The booked :class:`~repro.workload.requests.Request`.
+    """
+
+    at: float
+    request: Request
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.at):
+            raise GatewayError(f"booking arrival time must be finite, got {self.at}")
+
+    @property
+    def lead(self) -> float:
+        """Seconds between booking and showing (may be negative)."""
+        return self.request.start_time - self.at
+
+    def _sort_key(self) -> tuple:
+        r = self.request
+        return (self.at, r.start_time, r.video_id, r.user_id, r.local_storage)
+
+    def to_dict(self) -> dict:
+        r = self.request
+        return {
+            "at": self.at,
+            "request": {
+                "start_time": r.start_time,
+                "video_id": r.video_id,
+                "user_id": r.user_id,
+                "local_storage": r.local_storage,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestEvent":
+        try:
+            r = data["request"]
+            return cls(
+                at=float(data["at"]),
+                request=Request(
+                    start_time=float(r["start_time"]),
+                    video_id=str(r["video_id"]),
+                    user_id=str(r["user_id"]),
+                    local_storage=str(r["local_storage"]),
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GatewayError(f"malformed request event: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RequestFeed:
+    """An ordered, replayable stream of booking requests.
+
+    Events are kept in canonical arrival order (ties broken by the
+    request's identifying fields), so two feeds with the same events
+    compare equal and replay identically regardless of construction
+    order.  Duplicate bookings are *kept* -- two identical reservations
+    are two streams of demand, and deduplication (if any) is an
+    admission policy's job.
+    """
+
+    events: tuple[RequestEvent, ...] = ()
+    name: str = ""
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "events",
+            tuple(sorted(self.events, key=RequestEvent._sort_key)),
+        )
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first arrival, last arrival); raises when empty."""
+        if not self.events:
+            raise GatewayError("empty request feed has no span")
+        return (self.events[0].at, self.events[-1].at)
+
+    @property
+    def showing_span(self) -> tuple[float, float]:
+        """(earliest, latest) showing start time; raises when empty."""
+        if not self.events:
+            raise GatewayError("empty request feed has no showings")
+        starts = [e.request.start_time for e in self.events]
+        return (min(starts), max(starts))
+
+    def batch(self) -> RequestBatch:
+        """Every booked request as one frozen batch (the offline view)."""
+        return RequestBatch(e.request for e in self.events)
+
+    def until(self, t: float) -> "RequestFeed":
+        """The sub-feed of bookings arriving at or before instant ``t``."""
+        return RequestFeed(
+            events=tuple(e for e in self.events if e.at <= t),
+            name=self.name,
+            seed=self.seed,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the feed as JSONL: one header line, then one event/line."""
+        header: dict = {
+            "format_version": _FEED_FORMAT_VERSION,
+            "name": self.name,
+        }
+        if self.seed is not None:
+            header["seed"] = self.seed
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(e.to_dict(), sort_keys=True) for e in self.events
+        )
+        pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "RequestFeed":
+        """Read a feed written by :meth:`save`.
+
+        Raises :class:`~repro.errors.GatewayError` with a ``path:lineno``
+        diagnostic on unreadable files, non-JSON lines, bad header
+        versions, or malformed event records.
+        """
+        try:
+            text = pathlib.Path(path).read_text()
+        except OSError as exc:
+            raise GatewayError(f"cannot read request feed {path}: {exc}") from exc
+        header: dict | None = None
+        events: list[RequestEvent] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GatewayError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(doc, dict):
+                raise GatewayError(
+                    f"{path}:{lineno}: expected a JSON object, got "
+                    f"{type(doc).__name__}"
+                )
+            if header is None:
+                if "format_version" not in doc:
+                    raise GatewayError(
+                        f"{path}:1: missing feed header (format_version)"
+                    )
+                if doc["format_version"] != _FEED_FORMAT_VERSION:
+                    raise GatewayError(
+                        f"{path}:1: unsupported feed format version "
+                        f"{doc['format_version']!r} "
+                        f"(expected {_FEED_FORMAT_VERSION})"
+                    )
+                header = doc
+                continue
+            try:
+                events.append(RequestEvent.from_dict(doc))
+            except GatewayError as exc:
+                raise GatewayError(f"{path}:{lineno}: {exc}") from exc
+        if header is None:
+            raise GatewayError(f"{path}:1: empty feed file (no header line)")
+        seed = header.get("seed")
+        return cls(
+            events=tuple(events),
+            name=str(header.get("name", "")),
+            seed=int(seed) if seed is not None else None,
+        )
+
+    # -- seeded generation -------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        catalog: VideoCatalog,
+        *,
+        seed: int,
+        alpha: float = 0.271,
+        users_per_neighborhood: int = 4,
+        requests_per_user: int = 1,
+        arrivals: ArrivalProcess | None = None,
+        lead_range: tuple[float, float] = (3600.0, 14400.0),
+    ) -> "RequestFeed":
+        """Draw a deterministic booking feed from ``seed``.
+
+        The requests come from
+        :class:`~repro.workload.generators.WorkloadGenerator` with the
+        same arguments (so the feed's :meth:`batch` equals the offline
+        workload a direct run would schedule); each booking's arrival is
+        the showing's start time minus a seeded lead uniform in
+        ``lead_range`` (clamped to 0) -- VOR users book "some time in
+        advance".  Equal arguments always yield an equal feed.
+        """
+        lo, hi = lead_range
+        if not (0.0 <= lo <= hi):
+            raise GatewayError(
+                f"lead_range must satisfy 0 <= lo <= hi, got {lead_range!r}"
+            )
+        batch = WorkloadGenerator(
+            topology,
+            catalog,
+            alpha=alpha,
+            users_per_neighborhood=users_per_neighborhood,
+            arrivals=arrivals,
+            requests_per_user=requests_per_user,
+        ).generate(seed)
+        # Derived arithmetically (never via hash()) so feeds replay
+        # bit-identically across interpreter runs.
+        rng = random.Random(seed * 1_000_003 + 29)
+        events = tuple(
+            RequestEvent(
+                at=max(0.0, r.start_time - rng.uniform(lo, hi)),
+                request=r,
+            )
+            for r in batch
+        )
+        return cls(events=events, name=f"requests-seed{seed}", seed=seed)
+
+
+__all__ = ["RequestEvent", "RequestFeed"]

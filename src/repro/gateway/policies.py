@@ -1,0 +1,247 @@
+"""Pluggable admission policies for the reservation gateway.
+
+Each policy sees a priced reservation -- the request, its
+:class:`~repro.gateway.quote.Quote`, and the virtual booking instant --
+and answers admit/reject with a stable machine-readable reason.  Policies
+chain: a composite admits only when every member admits, and the reported
+reason is the first rejector's, so the chain order is part of the
+configuration.  Every policy is a pure function of its own fold-in state
+(updated only on admission), which keeps replays bit-identical.
+
+Policies are built from compact specs so the CLI, benchmarks, and CI can
+name a configuration in one string::
+
+    accept-all
+    headroom              # IS-headroom screen at the default 1.0 fraction
+    headroom:0.5          # ... at half the storage capacity
+    price-ceiling:25.0    # reject quotes above $25
+    rate-limit:0.01:5     # per-neighborhood token bucket: rate/s, burst
+    headroom:0.8,price-ceiling:40,rate-limit:0.02:8   # chained
+
+The token bucket runs on the feed's virtual clock (the booking ``at``
+instants), never the wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import GatewayError
+from repro.gateway.quote import Quote
+from repro.topology.graph import Topology
+from repro.workload.requests import Request
+
+#: Machine-readable rejection reasons the bundled policies emit.
+POLICY_REASONS = ("is-headroom", "price-ceiling", "rate-limit")
+
+
+class AdmissionPolicy(ABC):
+    """Decides whether a priced reservation may join the building batch."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        """Return ``(admit, reason)``; reason is ``""`` on admission."""
+
+    def admitted(self, request: Request, quote: Quote, at: float) -> None:
+        """Fold an admitted reservation into policy state (default: none)."""
+
+    def reset(self) -> None:
+        """Forget per-cycle state at cycle seal (default: none)."""
+
+
+class AcceptAllPolicy(AdmissionPolicy):
+    """Admits everything that passed the gateway's validity pre-screen."""
+
+    name = "accept-all"
+
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        return (True, "")
+
+
+class HeadroomPolicy(AdmissionPolicy):
+    """Screens on projected IS cache occupancy.
+
+    Tracks the distinct videos admitted per neighborhood storage this
+    cycle and projects their total bytes (one cached copy per distinct
+    video -- the solver shares copies, so this is the cycle's plausible
+    footprint).  A request whose video is *new* to its storage is rejected
+    once the projection would exceed ``fraction`` of the storage's
+    capacity; requests for already-admitted videos always fit (they share
+    the existing copy).
+    """
+
+    name = "headroom"
+
+    def __init__(self, topology: Topology, catalog, *, fraction: float = 1.0):
+        if not (0.0 < fraction):
+            raise GatewayError(f"headroom fraction must be > 0, got {fraction}")
+        self._topo = topology
+        self._catalog = catalog
+        self._fraction = fraction
+        #: storage name -> {video_id: size}
+        self._resident: dict[str, dict[str, float]] = {}
+
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        resident = self._resident.get(request.local_storage, {})
+        if request.video_id in resident:
+            return (True, "")
+        budget = self._fraction * self._topo.capacity(request.local_storage)
+        if math.isinf(budget):
+            return (True, "")
+        projected = math.fsum(resident.values()) + self._catalog[request.video_id].size
+        if projected > budget:
+            return (False, "is-headroom")
+        return (True, "")
+
+    def admitted(self, request: Request, quote: Quote, at: float) -> None:
+        self._resident.setdefault(request.local_storage, {})[
+            request.video_id
+        ] = self._catalog[request.video_id].size
+
+    def reset(self) -> None:
+        self._resident.clear()
+
+
+class PriceCeilingPolicy(AdmissionPolicy):
+    """Rejects reservations whose quoted marginal price exceeds a ceiling."""
+
+    name = "price-ceiling"
+
+    def __init__(self, ceiling: float):
+        if not (ceiling >= 0.0):
+            raise GatewayError(f"price ceiling must be >= 0, got {ceiling}")
+        self._ceiling = ceiling
+
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        if quote.price > self._ceiling:
+            return (False, "price-ceiling")
+        return (True, "")
+
+
+class TokenBucketPolicy(AdmissionPolicy):
+    """Per-neighborhood token-bucket rate limiting on the virtual clock.
+
+    Each neighborhood storage owns a bucket of ``burst`` tokens refilled
+    at ``rate`` tokens per virtual second; an admission spends one token.
+    Refill is computed from the booking instants (``at``), so replaying a
+    feed reproduces the same token trajectories bit-for-bit.
+    """
+
+    name = "rate-limit"
+
+    def __init__(self, *, rate: float, burst: float):
+        if rate <= 0.0:
+            raise GatewayError(f"token rate must be > 0, got {rate}")
+        if burst < 1.0:
+            raise GatewayError(f"token burst must be >= 1, got {burst}")
+        self._rate = rate
+        self._burst = burst
+        #: storage name -> (tokens, last refill instant)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def _refilled(self, storage: str, at: float) -> float:
+        tokens, last = self._buckets.get(storage, (self._burst, at))
+        if at > last:
+            tokens = min(self._burst, tokens + (at - last) * self._rate)
+        return tokens
+
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        if self._refilled(request.local_storage, at) < 1.0:
+            return (False, "rate-limit")
+        return (True, "")
+
+    def admitted(self, request: Request, quote: Quote, at: float) -> None:
+        storage = request.local_storage
+        self._buckets[storage] = (self._refilled(storage, at) - 1.0, at)
+
+    def reset(self) -> None:
+        self._buckets.clear()
+
+
+class PolicyChain(AdmissionPolicy):
+    """All member policies must admit; first rejector names the reason."""
+
+    name = "chain"
+
+    def __init__(self, policies: list[AdmissionPolicy]):
+        if not policies:
+            raise GatewayError("policy chain must contain at least one policy")
+        self._policies = list(policies)
+
+    @property
+    def policies(self) -> tuple[AdmissionPolicy, ...]:
+        return tuple(self._policies)
+
+    def decide(self, request: Request, quote: Quote, at: float) -> tuple[bool, str]:
+        for policy in self._policies:
+            admit, reason = policy.decide(request, quote, at)
+            if not admit:
+                return (False, reason)
+        return (True, "")
+
+    def admitted(self, request: Request, quote: Quote, at: float) -> None:
+        for policy in self._policies:
+            policy.admitted(request, quote, at)
+
+    def reset(self) -> None:
+        for policy in self._policies:
+            policy.reset()
+
+
+def build_policy(spec: str, *, topology: Topology, catalog) -> AdmissionPolicy:
+    """Parse a comma-chained policy spec string into a policy.
+
+    Raises :class:`~repro.errors.GatewayError` on unknown policy names or
+    malformed arguments (message names the offending segment).
+    """
+    segments = [s.strip() for s in spec.split(",") if s.strip()]
+    if not segments:
+        raise GatewayError(f"empty policy spec: {spec!r}")
+    policies: list[AdmissionPolicy] = []
+    for segment in segments:
+        name, _, argtext = segment.partition(":")
+        args = argtext.split(":") if argtext else []
+        try:
+            if name == "accept-all":
+                if args:
+                    raise GatewayError("accept-all takes no arguments")
+                policies.append(AcceptAllPolicy())
+            elif name == "headroom":
+                if len(args) > 1:
+                    raise GatewayError("headroom takes at most one argument")
+                fraction = float(args[0]) if args else 1.0
+                policies.append(HeadroomPolicy(topology, catalog, fraction=fraction))
+            elif name == "price-ceiling":
+                if len(args) != 1:
+                    raise GatewayError("price-ceiling takes exactly one argument")
+                policies.append(PriceCeilingPolicy(float(args[0])))
+            elif name == "rate-limit":
+                if len(args) != 2:
+                    raise GatewayError("rate-limit takes rate:burst")
+                policies.append(
+                    TokenBucketPolicy(rate=float(args[0]), burst=float(args[1]))
+                )
+            else:
+                raise GatewayError(f"unknown admission policy {name!r}")
+        except ValueError as exc:
+            raise GatewayError(f"bad policy argument in {segment!r}: {exc}") from exc
+        except GatewayError as exc:
+            raise GatewayError(f"bad policy spec {segment!r}: {exc}") from exc
+    if len(policies) == 1:
+        return policies[0]
+    return PolicyChain(policies)
+
+
+__all__ = [
+    "POLICY_REASONS",
+    "AcceptAllPolicy",
+    "AdmissionPolicy",
+    "HeadroomPolicy",
+    "PolicyChain",
+    "PriceCeilingPolicy",
+    "TokenBucketPolicy",
+    "build_policy",
+]

@@ -20,6 +20,14 @@ each cycle boundary:
    cost, and the surviving move set must also win a full two-phase **trial
    solve** of the next batch -- candidate Ψ plus staging cost strictly
    below incumbent Ψ -- before it is adopted.
+4. **Price drop-side capacity reclamation**: every dropped copy frees
+   ``video.size`` bytes of the warehouse's disk
+   (:attr:`~repro.warehouse.hierarchy.WarehouseSpec.disk_capacity`), and
+   added copies must fit the freed space -- drops are applied best-first
+   alongside adds, so a plan that swaps a cold title out can swap a hot
+   title *in* at a warehouse that was full.  Adds that do not fit are
+   rejected with reason ``"disk-capacity"`` before the trial solve, so
+   the reclaimed capacity the trial sees is exactly what the disks hold.
 
 The planner is a pure function of its inputs: no wall clock, no RNG beyond
 the seeded candidate placement, so the same arguments always return the
@@ -50,6 +58,8 @@ MOVE_REASONS = (
     "no-improvement",  # projected savings do not strictly beat staging cost
     "unreachable",     # an added home cannot be staged from any incumbent home
     "drive-budget",    # tape drives cannot fit the staging in the window
+    "disk-capacity",   # added copies do not fit the warehouse disk, even
+                       # after reclaiming this plan's dropped copies
     "trial-regression",  # the aggregate trial solve did not confirm the win
 )
 
@@ -96,6 +106,10 @@ class MigrationMove:
     transfer_cost: float = 0.0
     #: Tape-drive seconds the staging occupies (0 for drops).
     staging_seconds: float = 0.0
+    #: Disk bytes the move frees at the warehouse (``video.size`` for
+    #: drops, 0 for adds) -- the capacity the planner reclaims and makes
+    #: available to this plan's own added copies.
+    reclaimed_bytes: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -123,6 +137,7 @@ class VideoDecision:
                     "source": m.source,
                     "transfer_cost": round(m.transfer_cost, 6),
                     "staging_seconds": round(m.staging_seconds, 6),
+                    "reclaimed_bytes": round(m.reclaimed_bytes, 6),
                 }
                 for m in self.moves
             ],
@@ -288,6 +303,7 @@ class MigrationPlanner:
             else:
                 rejected.append(verdict)
 
+        screened = self._fit_disk_capacity(incumbent, screened, rejected)
         screened = self._fit_drive_budget(screened, rejected)
         if not screened:
             return MigrationPlan(
@@ -401,7 +417,12 @@ class MigrationPlanner:
             cand.staging_seconds += seconds
         for w in sorted(old_homes - new_homes):
             cand.moves.append(
-                MigrationMove(video_id=video_id, action="drop", warehouse=w)
+                MigrationMove(
+                    video_id=video_id,
+                    action="drop",
+                    warehouse=w,
+                    reclaimed_bytes=video.size,
+                )
             )
         cand.saving = saving
         if not saving > cand.staging_cost:
@@ -412,6 +433,77 @@ class MigrationPlanner:
                 staging_cost=cand.staging_cost,
             )
         return cand
+
+    def _fit_disk_capacity(
+        self,
+        incumbent: ReplicaMap,
+        screened: list[_Candidate],
+        rejected: list[VideoDecision],
+    ) -> list[_Candidate]:
+        """Fit added copies to the warehouse disks, reclaiming drop space.
+
+        Per-warehouse free bytes start at
+        :attr:`~repro.warehouse.hierarchy.WarehouseSpec.disk_capacity`
+        minus the incumbent map's occupancy.  Candidates are processed in
+        the same deterministic best-first order as the drive budget; each
+        candidate's *drops* reclaim their video's size before its *adds*
+        are charged, and the reclaimed space stays available to every
+        later candidate -- so a swap (drop a cold title, add a hot one)
+        fits where the add alone would not.  Candidates whose adds do not
+        fit are rejected with reason ``"disk-capacity"`` and their
+        tentative reclaims reverted.
+        """
+        if self.warehouse is None or not screened:
+            return screened
+        capacity = self.warehouse.disk_capacity
+        if math.isinf(capacity):
+            return screened
+        free: dict[str, float] = {
+            w.name: capacity for w in self.topology.warehouses
+        }
+        for v in self.catalog:
+            for home in incumbent.homes(v.video_id):
+                free[home] = free.get(home, capacity) - v.size
+        kept: list[_Candidate] = []
+        ranked = sorted(
+            screened,
+            key=lambda c: (-(c.saving - c.staging_cost), c.video_id),
+        )
+        for c in ranked:
+            delta: dict[str, float] = {}
+            fits = True
+            for m in c.moves:
+                if m.action == "drop":
+                    delta[m.warehouse] = (
+                        delta.get(m.warehouse, 0.0) + m.reclaimed_bytes
+                    )
+            for m in c.moves:
+                if m.action != "add":
+                    continue
+                size = self.catalog[m.video_id].size
+                if size > free.get(m.warehouse, capacity) + delta.get(
+                    m.warehouse, 0.0
+                ):
+                    fits = False
+                    break
+                delta[m.warehouse] = delta.get(m.warehouse, 0.0) - size
+            if fits:
+                for w, d in delta.items():
+                    free[w] = free.get(w, capacity) + d
+                kept.append(c)
+            else:
+                rejected.append(
+                    VideoDecision(
+                        video_id=c.video_id,
+                        accepted=False,
+                        reason="disk-capacity",
+                        moves=tuple(c.moves),
+                        projected_saving=c.saving,
+                        staging_cost=c.staging_cost,
+                    )
+                )
+        kept.sort(key=lambda c: c.video_id)
+        return kept
 
     def _fit_drive_budget(
         self, screened: list[_Candidate], rejected: list[VideoDecision]

@@ -47,11 +47,13 @@ from repro.obs.export import (
 )
 from repro.obs.logs import configure_logging, parse_level
 from repro.obs.slo import (
+    GATEWAY_INDICATORS,
     SLOError,
     SLOPolicy,
     SLOReport,
     SLOResult,
     SLOSpec,
+    gateway_indicators,
     online_indicators,
 )
 from repro.obs.metrics import (
@@ -78,6 +80,7 @@ __all__ = [
     "Counter",
     "CriticalPath",
     "EVENT_KINDS",
+    "GATEWAY_INDICATORS",
     "Gauge",
     "Histogram",
     "JournalError",
@@ -106,6 +109,7 @@ __all__ = [
     "dominant_path",
     "format_critical_path",
     "format_critical_paths",
+    "gateway_indicators",
     "json_snapshot",
     "load_journal_jsonl",
     "online_indicators",

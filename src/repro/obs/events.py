@@ -29,6 +29,13 @@ kind               emitted when
 ``resumed``        the carryover ledger classifies an interrupted stream as
                    resumable (blocks survived; only the tail re-ships)
 ``restarted``      ... or as restarted from byte zero (and why)
+``quoted``         the admission gateway prices a booking (basis + Ψ split)
+``gate-admitted``  ... and admits it into the solver-bound batch
+``gate-rejected``  ... or refuses it (validity pre-screen or policy reason)
+``gate-queued``    ... or parks it in the bounded pending queue
+``gate-shed``      ... or sheds it (queue overflow / final seal)
+``cycle-sealed``   the gateway seals a cycle's batch (intake counters +
+                   quote-vs-realized reconciliation totals)
 =================  ==========================================================
 
 Determinism contract: the journal is **append-only** and records *no wall
@@ -76,6 +83,12 @@ EVENT_KINDS = (
     "migration",
     "resumed",
     "restarted",
+    "quoted",
+    "gate-admitted",
+    "gate-rejected",
+    "gate-queued",
+    "gate-shed",
+    "cycle-sealed",
 )
 
 _EVENT_KIND_SET = frozenset(EVENT_KINDS)
@@ -310,7 +323,14 @@ def write_journal_jsonl(
 
 
 def load_journal_jsonl(path: str | Path) -> RequestJournal:
-    """Rebuild a journal from a JSONL export (for offline ``explain``)."""
+    """Rebuild a journal from a JSONL export (for offline ``explain``).
+
+    Raises :class:`JournalError` (with a ``path:lineno`` diagnostic) on
+    non-JSON lines, malformed events, and events whose kind is not in the
+    current :data:`EVENT_KINDS` taxonomy -- a journal written by a newer
+    (or incompatible older) version of this library must fail loudly, not
+    crash downstream consumers with a raw ``KeyError``.
+    """
     journal = RequestJournal()
     for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
         if not line.strip():
@@ -320,10 +340,23 @@ def load_journal_jsonl(path: str | Path) -> RequestJournal:
         except json.JSONDecodeError as exc:
             raise JournalError(f"{path}:{lineno}: not JSON: {exc}") from exc
         try:
+            kind = doc["event"]
+        except (KeyError, TypeError) as exc:
+            raise JournalError(
+                f"{path}:{lineno}: malformed journal event: {exc}"
+            ) from exc
+        if kind not in _EVENT_KIND_SET:
+            raise JournalError(
+                f"{path}:{lineno}: unknown event kind {kind!r} -- this "
+                f"journal does not match the current event taxonomy "
+                f"({len(EVENT_KINDS)} kinds); re-export it with this "
+                f"version of the library"
+            )
+        try:
             journal._events.append(
                 JournalEvent(
                     seq=len(journal._events),
-                    kind=doc["event"],
+                    kind=kind,
                     request_id=doc.get("request_id"),
                     video_id=doc.get("video_id"),
                     attrs=tuple(

@@ -57,6 +57,17 @@ DETERMINISTIC_INDICATORS = (
     "rejection_rate",
     "amendment_failure_rate",
     "shed_rate",
+    "gateway_admission_ratio",
+    "gateway_quote_error",
+    "gateway_shed_rate",
+)
+
+#: The admission gateway's own indicator names (a subset of the
+#: deterministic indicators: gateway decisions replay bit-identically).
+GATEWAY_INDICATORS = (
+    "gateway_admission_ratio",
+    "gateway_quote_error",
+    "gateway_shed_rate",
 )
 
 
@@ -284,6 +295,51 @@ class SLOPolicy:
             )
         )
 
+    @classmethod
+    def gateway_default(cls) -> "SLOPolicy":
+        """The built-in policy for admission-gateway runs.
+
+        Kept separate from :meth:`default` (whose specs are embedded in
+        committed reports): gateway indicators measure the front door,
+        not the amendment loop.
+        """
+        return cls(
+            specs=(
+                SLOSpec(
+                    "gateway-admission-ratio", "gateway_admission_ratio",
+                    0.5, ">=",
+                    "Fraction of offered bookings admitted into a cycle.",
+                ),
+                SLOSpec(
+                    "gateway-quote-error", "gateway_quote_error", 0.5, "<=",
+                    "Worst per-cycle relative quote-vs-realized Ψ error.",
+                ),
+                SLOSpec(
+                    "gateway-shed-rate", "gateway_shed_rate", 0.25, "<=",
+                    "Fraction of offered bookings shed under backpressure.",
+                ),
+            )
+        )
+
+
+def gateway_indicators(run: Any) -> dict[str, float]:
+    """Standard indicator dict from a gateway run.
+
+    Args:
+        run: A :class:`~repro.gateway.gateway.GatewayRunReport`.
+
+    All three indicators are replay-deterministic: admission ratio
+    (admitted / offered), shed rate (shed / offered), and the worst
+    per-cycle relative quote-vs-realized Ψ error.
+    """
+    indicators = {
+        "gateway_admission_ratio": run.admission_ratio,
+        "gateway_shed_rate": run.shed_rate,
+    }
+    if math.isfinite(run.quote_error):
+        indicators["gateway_quote_error"] = run.quote_error
+    return indicators
+
 
 def online_indicators(
     report: Any,
@@ -331,11 +387,13 @@ def deterministic_slice(indicators: Mapping[str, float]) -> dict[str, float]:
 
 __all__ = [
     "DETERMINISTIC_INDICATORS",
+    "GATEWAY_INDICATORS",
     "SLOError",
     "SLOPolicy",
     "SLOReport",
     "SLOResult",
     "SLOSpec",
     "deterministic_slice",
+    "gateway_indicators",
     "online_indicators",
 ]

@@ -1,0 +1,36 @@
+"""Shared fixtures: a small paper environment and a seeded booking feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Observability, VORService, paper_catalog, units
+from repro.gateway import RequestFeed
+from repro.topology import paper_topology
+
+
+def make_service(topology, catalog, **kwargs):
+    """A service with journal + metrics on (the gateway's full surface)."""
+    kwargs.setdefault("obs", Observability.on(journal=True))
+    return VORService(topology, catalog, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def gw_topology():
+    return paper_topology(
+        nrate=units.per_gb(500),
+        srate=units.per_gb_hour(5),
+        capacity=units.gb(5),
+    )
+
+
+@pytest.fixture(scope="session")
+def gw_catalog():
+    return paper_catalog(20, seed=2)
+
+
+@pytest.fixture(scope="session")
+def gw_feed(gw_topology, gw_catalog):
+    return RequestFeed.generate(
+        gw_topology, gw_catalog, seed=2, users_per_neighborhood=2
+    )

@@ -1,0 +1,214 @@
+"""Admission policies: decisions, fold-in state, chaining, spec parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Request, Topology, VideoCatalog, VideoFile, units
+from repro.errors import GatewayError
+from repro.gateway import (
+    POLICY_REASONS,
+    AcceptAllPolicy,
+    HeadroomPolicy,
+    PolicyChain,
+    PriceCeilingPolicy,
+    Quote,
+    TokenBucketPolicy,
+    build_policy,
+)
+
+
+def _quote(price=10.0):
+    return Quote(price=price, basis="delivery", psi_d_fresh=price)
+
+
+def _request(video="v0", user="u1", storage="IS1", start=5 * units.HOUR):
+    return Request(start, video, user, storage)
+
+
+def _tiny_env(capacity_gb=3.0):
+    """One warehouse, one 2 GB-video-sized neighborhood cache."""
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_storage(
+        "IS1", srate=units.per_gb_hour(1.0), capacity=units.gb(capacity_gb)
+    )
+    topo.add_edge("VW", "IS1", nrate=units.per_gb(500))
+    catalog = VideoCatalog(
+        [
+            VideoFile(v, size=units.gb(2.0), playback=units.minutes(90))
+            for v in ("v0", "v1")
+        ]
+    )
+    return topo, catalog
+
+
+class TestAcceptAll:
+    def test_admits_everything(self):
+        assert AcceptAllPolicy().decide(_request(), _quote(), 0.0) == (True, "")
+
+
+class TestHeadroom:
+    def test_new_video_over_budget_rejected(self):
+        topo, catalog = _tiny_env(capacity_gb=3.0)
+        policy = HeadroomPolicy(topo, catalog)
+        first = _request(video="v0")
+        assert policy.decide(first, _quote(), 0.0) == (True, "")
+        policy.admitted(first, _quote(), 0.0)
+        admit, reason = policy.decide(_request(video="v1"), _quote(), 0.0)
+        assert not admit
+        assert reason == "is-headroom"
+        assert reason in POLICY_REASONS
+
+    def test_admitted_video_always_shares_its_copy(self):
+        topo, catalog = _tiny_env(capacity_gb=3.0)
+        policy = HeadroomPolicy(topo, catalog)
+        policy.admitted(_request(video="v0"), _quote(), 0.0)
+        again = _request(video="v0", user="u2")
+        assert policy.decide(again, _quote(), 0.0) == (True, "")
+
+    def test_fraction_scales_the_budget(self):
+        topo, catalog = _tiny_env(capacity_gb=3.0)
+        policy = HeadroomPolicy(topo, catalog, fraction=0.5)
+        # half of 3 GB cannot even hold the first 2 GB video
+        admit, reason = policy.decide(_request(video="v0"), _quote(), 0.0)
+        assert (admit, reason) == (False, "is-headroom")
+
+    def test_reset_forgets_residents(self):
+        topo, catalog = _tiny_env(capacity_gb=3.0)
+        policy = HeadroomPolicy(topo, catalog)
+        policy.admitted(_request(video="v0"), _quote(), 0.0)
+        policy.reset()
+        assert policy.decide(_request(video="v1"), _quote(), 0.0) == (True, "")
+
+    def test_bad_fraction_rejected(self):
+        topo, catalog = _tiny_env()
+        with pytest.raises(GatewayError, match="fraction"):
+            HeadroomPolicy(topo, catalog, fraction=0.0)
+
+
+class TestPriceCeiling:
+    def test_over_ceiling_rejected(self):
+        policy = PriceCeilingPolicy(25.0)
+        assert policy.decide(_request(), _quote(25.0), 0.0) == (True, "")
+        admit, reason = policy.decide(_request(), _quote(25.01), 0.0)
+        assert (admit, reason) == (False, "price-ceiling")
+
+    def test_negative_ceiling_rejected(self):
+        with pytest.raises(GatewayError, match="ceiling"):
+            PriceCeilingPolicy(-1.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_starved(self):
+        policy = TokenBucketPolicy(rate=0.001, burst=2)
+        for _ in range(2):
+            assert policy.decide(_request(), _quote(), 0.0) == (True, "")
+            policy.admitted(_request(), _quote(), 0.0)
+        assert policy.decide(_request(), _quote(), 0.0) == (False, "rate-limit")
+
+    def test_refills_on_the_virtual_clock(self):
+        policy = TokenBucketPolicy(rate=0.01, burst=1)
+        policy.admitted(_request(), _quote(), 0.0)
+        assert policy.decide(_request(), _quote(), 10.0) == (False, "rate-limit")
+        assert policy.decide(_request(), _quote(), 100.0) == (True, "")
+
+    def test_buckets_are_per_neighborhood(self):
+        policy = TokenBucketPolicy(rate=0.001, burst=1)
+        policy.admitted(_request(storage="IS1"), _quote(), 0.0)
+        assert policy.decide(_request(storage="IS1"), _quote(), 0.0)[0] is False
+        assert policy.decide(_request(storage="IS2"), _quote(), 0.0) == (True, "")
+
+    def test_reset_restores_burst(self):
+        policy = TokenBucketPolicy(rate=0.001, burst=1)
+        policy.admitted(_request(), _quote(), 0.0)
+        policy.reset()
+        assert policy.decide(_request(), _quote(), 0.0) == (True, "")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(GatewayError, match="rate"):
+            TokenBucketPolicy(rate=0.0, burst=1)
+        with pytest.raises(GatewayError, match="burst"):
+            TokenBucketPolicy(rate=1.0, burst=0.5)
+
+
+class TestChain:
+    def test_first_rejector_names_the_reason(self):
+        chain = PolicyChain(
+            [PriceCeilingPolicy(5.0), TokenBucketPolicy(rate=1.0, burst=1)]
+        )
+        assert chain.decide(_request(), _quote(50.0), 0.0) == (
+            False,
+            "price-ceiling",
+        )
+
+    def test_all_members_must_admit(self):
+        chain = PolicyChain(
+            [AcceptAllPolicy(), PriceCeilingPolicy(5.0)]
+        )
+        assert chain.decide(_request(), _quote(1.0), 0.0) == (True, "")
+
+    def test_admission_folds_into_every_member(self):
+        bucket = TokenBucketPolicy(rate=0.001, burst=1)
+        chain = PolicyChain([AcceptAllPolicy(), bucket])
+        chain.admitted(_request(), _quote(), 0.0)
+        assert bucket.decide(_request(), _quote(), 0.0)[0] is False
+        chain.reset()
+        assert bucket.decide(_request(), _quote(), 0.0)[0] is True
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(GatewayError, match="at least one"):
+            PolicyChain([])
+
+
+class TestBuildPolicy:
+    @pytest.fixture
+    def env(self):
+        return _tiny_env()
+
+    def test_every_spec_form(self, env):
+        topo, catalog = env
+        cases = {
+            "accept-all": AcceptAllPolicy,
+            "headroom": HeadroomPolicy,
+            "headroom:0.5": HeadroomPolicy,
+            "price-ceiling:25": PriceCeilingPolicy,
+            "rate-limit:0.01:5": TokenBucketPolicy,
+        }
+        for spec, cls in cases.items():
+            assert isinstance(
+                build_policy(spec, topology=topo, catalog=catalog), cls
+            )
+
+    def test_chained_spec_builds_a_chain(self, env):
+        topo, catalog = env
+        policy = build_policy(
+            "headroom:0.8,price-ceiling:40,rate-limit:0.02:8",
+            topology=topo,
+            catalog=catalog,
+        )
+        assert isinstance(policy, PolicyChain)
+        assert len(policy.policies) == 3
+
+    def test_unknown_name_names_the_segment(self, env):
+        topo, catalog = env
+        with pytest.raises(GatewayError, match="'maybe-later'"):
+            build_policy(
+                "accept-all,maybe-later", topology=topo, catalog=catalog
+            )
+
+    def test_bad_argument_names_the_segment(self, env):
+        topo, catalog = env
+        with pytest.raises(GatewayError, match="'price-ceiling:cheap'"):
+            build_policy("price-ceiling:cheap", topology=topo, catalog=catalog)
+
+    def test_wrong_arity_rejected(self, env):
+        topo, catalog = env
+        for spec in ("accept-all:1", "rate-limit:0.01", "headroom:1:2"):
+            with pytest.raises(GatewayError):
+                build_policy(spec, topology=topo, catalog=catalog)
+
+    def test_empty_spec_rejected(self, env):
+        topo, catalog = env
+        with pytest.raises(GatewayError, match="empty policy spec"):
+            build_policy(" , ", topology=topo, catalog=catalog)

@@ -4,9 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro import CostModel, ReplicaMap, WarehouseSpec, units
+from repro import (
+    CostModel,
+    ReplicaMap,
+    Topology,
+    VideoCatalog,
+    VideoFile,
+    WarehouseSpec,
+    units,
+)
 from repro.horizon import MigrationConfig, MigrationPlanner
-from repro.horizon.migration import MOVE_REASONS
+from repro.horizon.migration import MOVE_REASONS, MigrationMove, _Candidate
 
 
 @pytest.fixture(scope="module")
@@ -64,8 +72,12 @@ class TestPlanShape:
         self, drill_topology, drill_catalog, drill_cycles, drill_replicas
     ):
         cm = CostModel(drill_topology, drill_catalog, replicas=drill_replicas)
+        # the drill incumbent occupies ~154 GB at VW, over the 100 GB
+        # default disk -- give headroom so adds stay disk-feasible here
         planner = MigrationPlanner(
-            drill_topology, drill_catalog, warehouse=WarehouseSpec()
+            drill_topology,
+            drill_catalog,
+            warehouse=WarehouseSpec(disk_capacity=units.gb(400)),
         )
         plan = planner.plan(drill_cycles[1][0], drill_cycles[2][0], cm)
         adds = [
@@ -110,7 +122,9 @@ class TestRejections:
             drill_topology,
             drill_catalog,
             config=MigrationConfig(staging_window=1e-9),
-            warehouse=WarehouseSpec(tape_drives=1),
+            warehouse=WarehouseSpec(
+                tape_drives=1, disk_capacity=units.gb(400)
+            ),
         )
         plan = planner.plan(drill_cycles[1][0], drill_cycles[2][0], cm)
         assert not plan.applied
@@ -149,3 +163,161 @@ class TestRejections:
         assert not plan.applied
         assert not plan.accepted
         assert plan.new_map is plan.old_map
+
+
+def _disk_env():
+    """Two warehouses, one 2.5 GB disk each; VW already holds both titles
+    (free space negative), VW2 holds only the cold one (0.5 GB free)."""
+    topo = Topology()
+    topo.add_warehouse("VW")
+    topo.add_warehouse("VW2")
+    topo.add_storage(
+        "IS1", srate=units.per_gb_hour(1.0), capacity=units.gb(10)
+    )
+    topo.add_edge("VW", "IS1", nrate=units.per_gb(500))
+    topo.add_edge("VW2", "IS1", nrate=units.per_gb(100))
+    catalog = VideoCatalog(
+        [
+            VideoFile(v, size=units.gb(2.0), playback=units.minutes(90))
+            for v in ("cold", "hot")
+        ]
+    )
+    incumbent = ReplicaMap({"cold": ("VW", "VW2"), "hot": ("VW",)})
+    planner = MigrationPlanner(
+        topo,
+        catalog,
+        warehouse=WarehouseSpec(disk_capacity=units.gb(2.5)),
+    )
+    return planner, incumbent
+
+
+def _drop(video, warehouse, *, saving):
+    return _Candidate(
+        video,
+        moves=[
+            MigrationMove(
+                video_id=video,
+                action="drop",
+                warehouse=warehouse,
+                reclaimed_bytes=units.gb(2.0),
+            )
+        ],
+        saving=saving,
+    )
+
+
+def _add(video, warehouse, *, saving):
+    return _Candidate(
+        video,
+        moves=[
+            MigrationMove(
+                video_id=video,
+                action="add",
+                warehouse=warehouse,
+                source="VW",
+                transfer_cost=1.0,
+            )
+        ],
+        saving=saving,
+        staging_cost=1.0,
+    )
+
+
+class TestDiskCapacity:
+    """Satellite: drop-side capacity reclamation at the disk fit."""
+
+    def test_add_without_headroom_rejected(self):
+        planner, incumbent = _disk_env()
+        rejected = []
+        kept = planner._fit_disk_capacity(
+            incumbent, [_add("hot", "VW2", saving=50.0)], rejected
+        )
+        assert kept == []
+        (decision,) = rejected
+        assert decision.reason == "disk-capacity"
+        assert not decision.accepted
+        assert decision.video_id == "hot"
+
+    def test_drop_reclaims_space_for_a_later_add(self):
+        """The swap the feature exists for: dropping the cold title frees
+        the disk the hot title needs, so both candidates survive to the
+        trial solve -- the trial sees exactly what the disks will hold."""
+        planner, incumbent = _disk_env()
+        rejected = []
+        kept = planner._fit_disk_capacity(
+            incumbent,
+            [_add("hot", "VW2", saving=50.0), _drop("cold", "VW2", saving=100.0)],
+            rejected,
+        )
+        assert [c.video_id for c in kept] == ["cold", "hot"]
+        assert rejected == []
+
+    def test_rejected_candidate_reverts_its_reclaim(self):
+        """A candidate whose add does not fit must not leave its tentative
+        drop-reclaims behind for later candidates to spend."""
+        planner, incumbent = _disk_env()
+        # relocation whose add lands on the over-full VW: rejected, and its
+        # VW2 drop must be reverted, so the follow-up add is rejected too
+        relocation = _Candidate(
+            "cold",
+            moves=[
+                MigrationMove(
+                    video_id="cold",
+                    action="drop",
+                    warehouse="VW2",
+                    reclaimed_bytes=units.gb(2.0),
+                ),
+                MigrationMove(
+                    video_id="cold",
+                    action="add",
+                    warehouse="VW",
+                    source="VW2",
+                    transfer_cost=1.0,
+                ),
+            ],
+            saving=100.0,
+            staging_cost=1.0,
+        )
+        rejected = []
+        kept = planner._fit_disk_capacity(
+            incumbent, [relocation, _add("hot", "VW2", saving=50.0)], rejected
+        )
+        assert kept == []
+        assert [d.reason for d in rejected] == ["disk-capacity"] * 2
+
+    def test_no_warehouse_spec_skips_the_fit(self):
+        planner, incumbent = _disk_env()
+        planner.warehouse = None
+        candidates = [_add("hot", "VW2", saving=50.0)]
+        assert (
+            planner._fit_disk_capacity(incumbent, candidates, []) == candidates
+        )
+
+    def test_drop_moves_carry_their_reclaimed_bytes(self, planned):
+        for decision in planned.accepted:
+            for move in decision.moves:
+                if move.action == "drop":
+                    assert move.reclaimed_bytes > 0
+                else:
+                    assert move.reclaimed_bytes == 0.0
+        doc = planned.to_json_dict()
+        for decision in doc["accepted"]:
+            for move in decision["moves"]:
+                assert "reclaimed_bytes" in move
+
+    def test_tight_disks_reject_adds_at_plan_level(
+        self, drill_topology, drill_catalog, drill_cycles, drill_replicas
+    ):
+        """With 3 GB disks already over-occupied by the incumbent map, no
+        add can fit and every add-carrying candidate is rejected with
+        ``disk-capacity`` before the trial solve."""
+        cm = CostModel(drill_topology, drill_catalog, replicas=drill_replicas)
+        planner = MigrationPlanner(
+            drill_topology,
+            drill_catalog,
+            warehouse=WarehouseSpec(disk_capacity=units.gb(3)),
+        )
+        plan = planner.plan(drill_cycles[1][0], drill_cycles[2][0], cm)
+        assert any(d.reason == "disk-capacity" for d in plan.rejected)
+        for decision in plan.accepted:
+            assert all(m.action == "drop" for m in decision.moves)

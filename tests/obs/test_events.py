@@ -206,6 +206,21 @@ class TestJsonl:
         with pytest.raises(JournalError, match="malformed"):
             load_journal_jsonl(path)
 
+    def test_load_rejects_unknown_kind_with_taxonomy_message(self, tmp_path):
+        """A journal from another library version fails loudly at load,
+        naming the offending line -- never a raw ``KeyError`` downstream."""
+        path = tmp_path / "stale.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0, "event": "warp-drive", "attrs": {}}) + "\n"
+        )
+        with pytest.raises(JournalError) as excinfo:
+            load_journal_jsonl(path)
+        message = str(excinfo.value)
+        assert "stale.jsonl:1" in message
+        assert "unknown event kind 'warp-drive'" in message
+        assert f"({len(EVENT_KINDS)} kinds)" in message
+        assert "re-export" in message
+
     def test_blank_lines_skipped(self, tmp_path):
         j = RequestJournal()
         j.emit("admitted", request_id="r0")
